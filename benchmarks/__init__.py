@@ -1,0 +1,1 @@
+"""Benchmark/experiment harness (see DESIGN.md's experiment index)."""

@@ -1,0 +1,61 @@
+"""Shared helpers for the benchmark/experiment harness.
+
+Every file in this directory regenerates one artifact of the paper (a
+table, figure or worked example) or one experiment of the §7 performance
+study (see DESIGN.md's experiment index).  Each test
+
+* runs the experiment under ``benchmark.pedantic`` (one round — these are
+  simulations, not microbenchmarks, unless stated otherwise),
+* prints the regenerated rows/series with capture disabled so they appear
+  in the terminal and in ``bench_output.txt``,
+* asserts the *shape* claims (who wins, orderings, crossovers) so a
+  regression in any algorithm fails the harness loudly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.system.builder import WarehouseSystem
+from repro.system.config import SystemConfig
+from repro.workloads.generator import UpdateStreamGenerator, WorkloadSpec, post_stream
+
+
+@pytest.fixture
+def report(capsys):
+    """Print experiment output immediately, bypassing pytest capture."""
+
+    def _report(*lines: object) -> None:
+        with capsys.disabled():
+            for line in lines:
+                print(line)
+
+    _report("")  # newline after pytest's test-name prefix
+    return _report
+
+
+def run_system(
+    world,
+    views,
+    config: SystemConfig,
+    spec: WorkloadSpec,
+) -> WarehouseSystem:
+    """Build, feed and run one system; returns it finished."""
+    stream = UpdateStreamGenerator(world, spec).transactions()
+    system = WarehouseSystem(world, views, config)
+    post_stream(system, stream)
+    system.run()
+    return system
+
+
+def fmt_table(headers: list[str], rows: list[list[object]]) -> str:
+    """Render a fixed-width text table."""
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    def line(cells):
+        return "  ".join(str(c).rjust(w) for c, w in zip(cells, widths))
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(r) for r in rows)
+    return "\n".join(out)

@@ -1,0 +1,91 @@
+"""B10 — Incremental maintenance vs full recomputation.
+
+The paper's premise (§1, citing [16, 13]): "Incremental view maintenance
+typically out-performs re-computation in cases where the volume of source
+data is large."  This microbenchmark measures, for growing base-relation
+sizes, the wall-clock cost of
+
+* recomputing ``V = R ./ S`` from scratch after one update, vs
+* propagating the update's delta incrementally,
+
+and reports the speedup.  Expected shape: recomputation cost grows with
+|R| + |S| while the incremental cost stays roughly flat, so the speedup
+grows with base size.
+"""
+
+import time
+
+from repro.relational.algebra import evaluate
+from repro.relational.database import Database
+from repro.relational.delta import Delta, propagate_delta
+from repro.relational.expressions import BaseRelation, Join
+from repro.relational.rows import Row
+from repro.relational.schema import Schema
+
+from benchmarks.conftest import fmt_table
+
+EXPR = Join(BaseRelation("R"), BaseRelation("S"))
+SIZES = (100, 1_000, 10_000)
+
+
+def make_db(size: int) -> Database:
+    db = Database()
+    db.create_relation(
+        "R", Schema(["A", "B"]), [Row(A=i, B=i % 50) for i in range(size)]
+    )
+    db.create_relation(
+        "S", Schema(["B", "C"]), [Row(B=i % 50, C=i) for i in range(size // 2)]
+    )
+    return db
+
+
+def measure(fn, repeats=3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_all():
+    rows = []
+    for size in SIZES:
+        db = make_db(size)
+        update_delta = {"R": Delta.insert(Row(A=size + 1, B=7))}
+
+        recompute = measure(lambda: evaluate(EXPR, db))
+        incremental = measure(lambda: propagate_delta(EXPR, db, update_delta))
+        rows.append((size, recompute, incremental, recompute / incremental))
+    return rows
+
+
+def test_b10_incremental_vs_recompute(benchmark, report):
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    table = [
+        [size, f"{rec * 1e3:.2f}", f"{inc * 1e3:.3f}", f"{ratio:.0f}x"]
+        for size, rec, inc, ratio in rows
+    ]
+    report("B10 — one-update maintenance of V = R ./ S:")
+    report(fmt_table(
+        ["|R| rows", "recompute (ms)", "incremental (ms)", "speedup"],
+        table,
+    ))
+    report("")
+    report("Shape: the incremental path's advantage grows with base size — "
+           "the premise of warehouse incremental view maintenance.")
+
+    speedups = [ratio for _s, _r, _i, ratio in rows]
+    assert speedups[-1] > speedups[0], "speedup must grow with base size"
+    assert speedups[-1] > 20, "incremental must clearly win at 10k rows"
+
+    # And it must be *correct*: delta-applied result == recomputation.
+    db = make_db(500)
+    before = evaluate(EXPR, db)
+    deltas = {"R": Delta.insert(Row(A=999_999, B=7))}
+    delta = propagate_delta(EXPR, db, deltas)
+    db.apply_deltas(deltas)
+    materialized = before.copy()
+    delta.apply_to(materialized)
+    assert materialized == evaluate(EXPR, db)

@@ -1,0 +1,107 @@
+"""B12 — Aggregate views: incremental maintenance + MVC (extension).
+
+§1.2 motivates per-view algorithm selection with "aggregate views need to
+use different maintenance algorithms than other views."  This extension
+experiment maintains count/sum group-by views through the same
+architecture and measures
+
+* correctness: aggregate and detail views stay mutually consistent
+  (MVC-complete run);
+* cost: incremental aggregate deltas vs full re-aggregation as the fact
+  table grows.
+"""
+
+import time
+
+from repro.relational.algebra import evaluate
+from repro.relational.database import Database
+from repro.relational.delta import Delta, propagate_delta
+from repro.relational.expressions import Aggregate, AggregateSpec, BaseRelation, Join
+from repro.relational.rows import Row
+from repro.relational.schema import Schema
+from repro.system.config import SystemConfig
+from repro.workloads.generator import WorkloadSpec
+from repro.workloads.schemas import star_views, star_world
+
+from benchmarks.conftest import fmt_table, run_system
+
+# Group totals over a fact-dimension join: the textbook summary view.
+TOTALS = Aggregate(
+    ("zone",),
+    (AggregateSpec("count", "n"), AggregateSpec("sum", "total", "q")),
+    Join(BaseRelation("F"), BaseRelation("D")),
+)
+SIZES = (1_000, 10_000, 50_000)
+
+
+def fact_table(size: int) -> Database:
+    db = Database()
+    db.create_relation(
+        "F",
+        Schema(["id", "g", "q"]),
+        [Row(id=i, g=i % 40, q=i % 7) for i in range(size)],
+    )
+    db.create_relation(
+        "D",
+        Schema(["g", "zone"]),
+        [Row(g=g, zone=g % 8) for g in range(40)],
+    )
+    return db
+
+
+def measure(fn, repeats=3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_b12_aggregate_views(benchmark, report):
+    def experiment():
+        # Part 1: end-to-end MVC over detail + aggregate views.
+        spec = WorkloadSpec(updates=60, rate=2.0, seed=37, value_range=10,
+                            mix=(0.6, 0.2, 0.2))
+        system = run_system(
+            star_world(),
+            star_views(aggregates=True),
+            SystemConfig(manager_kind="complete", seed=37),
+            spec,
+        )
+        verdict = system.classify()
+
+        # Part 2: incremental vs re-aggregation cost.
+        rows = []
+        for size in SIZES:
+            db = fact_table(size)
+            deltas = {"F": Delta.insert(Row(id=size + 1, g=3, q=5))}
+            recompute = measure(lambda: evaluate(TOTALS, db))
+            incremental = measure(lambda: propagate_delta(TOTALS, db, deltas))
+            rows.append((size, recompute, incremental))
+        return verdict, rows
+
+    verdict, rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    report("B12 — aggregate warehouse views:")
+    report(f"end-to-end run with RegionTotals/CategoryVolume views: "
+           f"MVC level = {verdict}")
+    report("")
+    table = [
+        [size, f"{rec * 1e3:.2f}", f"{inc * 1e3:.3f}", f"{rec / inc:.0f}x"]
+        for size, rec, inc in rows
+    ]
+    report(fmt_table(
+        ["fact rows", "re-aggregate (ms)", "incremental (ms)", "speedup"],
+        table,
+    ))
+    report("")
+    report("Shape: aggregates ride the MVC machinery unchanged; the "
+           "group-restricted delta rule beats re-aggregation consistently "
+           "(the engine is index-free, so both remain scan-bound — the "
+           "win is skipping the join/aggregation work of untouched groups).")
+
+    assert verdict == "complete"
+    speedups = [rec / inc for _s, rec, inc in rows]
+    assert all(s > 2.0 for s in speedups)
+    assert speedups[-1] >= speedups[0] * 0.9  # the advantage is not eroding

@@ -1,0 +1,123 @@
+"""B14 — Legacy sources behind snapshot-diff monitors (WHIPS wrappers).
+
+The WHIPS prototype fronted trigger-less legacy sources with monitors
+that detect updates by periodic snapshot diffing.  This experiment drives
+a silent (non-reporting) source and sweeps the monitor's poll period,
+measuring
+
+* observation granularity — real transactions vs synthesized batch
+  reports,
+* staleness — source commit to warehouse visibility (now dominated by the
+  poll period),
+* consistency — the warehouse stays MVC-complete w.r.t. the *observed*
+  schedule at every period.
+
+Expected shape: longer periods mean fewer, bigger observed transactions
+and staleness that grows roughly with period/2 + constant, while MVC never
+degrades.
+"""
+
+from repro.sources.monitor import SilentSource, SnapshotDiffMonitor
+from repro.sources.update import Update
+from repro.system.builder import WarehouseSystem
+from repro.system.config import SystemConfig
+from repro.workloads.schemas import paper_views_example1, paper_world
+
+from benchmarks.conftest import fmt_table
+
+UPDATES = 30
+GAP = 2.0  # source commits every 2 time units
+PERIODS = (1.0, 5.0, 20.0)
+
+
+def run(period: float):
+    world = paper_world()
+    system = WarehouseSystem(
+        world,
+        paper_views_example1(),
+        # Cheap maintenance so staleness isolates the observation delay
+        # (with expensive maintenance, fine polling saturates the pipeline
+        # and batching *helps* — the B1/B2 effect, measured separately).
+        SystemConfig(
+            manager_kind="complete",
+            compute_cost=lambda n, d: 0.1,
+            warehouse_txn_overhead=0.1,
+            warehouse_action_cost=0.0,
+        ),
+    )
+    owner = world.owner_of("S")
+    silent = SilentSource(system.sim, owner, world)
+    horizon = UPDATES * GAP + 4 * period + 10
+    monitor = SnapshotDiffMonitor(
+        system.sim, silent, period=period, stop_after=horizon
+    )
+    monitor.connect(system.integrator, 1.0)
+    for index in range(UPDATES):
+        system.sim.schedule(
+            1.0 + index * GAP,
+            silent.execute_update,
+            Update.insert("S", {"B": 2, "C": index}),
+        )
+    system.run()
+    # True staleness must be computed against the *real* commit times —
+    # the integrator only ever sees the monitor's report times (that
+    # information loss is part of what this experiment demonstrates).
+    visible_at: dict[int, float] = {}
+    for state in system.history:
+        for row in state.view("V1"):
+            index = row["C"]
+            visible_at.setdefault(index, state.time)
+    lags = [
+        visible_at[index] - (1.0 + index * GAP)
+        for index in range(UPDATES)
+        if index in visible_at
+    ]
+    true_staleness = sum(lags) / len(lags) if lags else float("inf")
+    level = system.classify()
+    return monitor.reports, true_staleness, level, system
+
+
+def test_b14_snapshot_diff_monitoring(benchmark, report):
+    results = benchmark.pedantic(
+        lambda: {period: run(period) for period in PERIODS},
+        rounds=1, iterations=1,
+    )
+
+    rows = []
+    for period in PERIODS:
+        reports, staleness, level, system = results[period]
+        rows.append(
+            [
+                period,
+                UPDATES,
+                reports,
+                f"{UPDATES / max(reports, 1):.1f}",
+                f"{staleness:.1f}",
+                level,
+            ]
+        )
+    report(f"B14 — snapshot-diff monitoring of a silent source "
+           f"({UPDATES} real txns, one every {GAP}):")
+    report(fmt_table(
+        ["poll period", "real txns", "observed txns", "batching",
+         "mean staleness", "MVC vs observed"],
+        rows,
+    ))
+    report("")
+    report("Shape: coarser polling batches more updates per observation; "
+           "true staleness trades per-transaction pipeline cost (fine "
+           "polling) against observation delay (coarse polling), growing "
+           "~period/2 once the poll interval dominates.  MVC never "
+           "degrades: the warehouse is consistent with everything the "
+           "monitor could see.")
+
+    observed = [results[p][0] for p in PERIODS]
+    staleness = [results[p][1] for p in PERIODS]
+    assert observed[0] > observed[1] > observed[2]
+    # Once the poll interval dominates, staleness grows with it.
+    assert staleness[2] > staleness[1] * 1.5
+    assert staleness[2] > staleness[0]
+    for period in PERIODS:
+        assert results[period][2] == "complete"
+        # Every source row eventually reached the warehouse.
+        assert len(results[period][3].store.view("V1")) == UPDATES

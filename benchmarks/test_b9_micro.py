@@ -1,0 +1,91 @@
+"""B9 — Microbenchmarks: VUT operations and painting-algorithm event cost.
+
+The merge process must keep up with REL/AL traffic, so the per-event cost
+of the data structure and of both algorithms matters.  These are true
+microbenchmarks (many rounds) over synthetic event streams:
+
+* VUT allocate/color/purge cycle,
+* SPA end-to-end event processing (n updates x 3 views),
+* PA with batch-2 action lists over the same pattern.
+"""
+
+import random
+
+from repro.merge.pa import PaintingAlgorithm
+from repro.merge.spa import SimplePaintingAlgorithm
+from repro.merge.vut import Color, ViewUpdateTable
+from repro.relational.delta import Delta
+from repro.relational.rows import Row
+from repro.viewmgr.actions import ActionList
+
+VIEWS = ("V1", "V2", "V3")
+N_UPDATES = 60
+
+
+def make_al(view, covered):
+    return ActionList.from_delta(
+        view, view, tuple(covered), Delta.insert(Row(x=covered[-1]))
+    )
+
+
+def test_b9_vut_cycle(benchmark):
+    def cycle():
+        vut = ViewUpdateTable(VIEWS)
+        for row in range(1, N_UPDATES + 1):
+            vut.allocate_row(row, frozenset(VIEWS))
+            for view in VIEWS:
+                vut.set_color(row, view, Color.RED)
+            for view in VIEWS:
+                vut.set_color(row, view, Color.GRAY)
+            vut.purge(row)
+        return vut
+
+    vut = benchmark(cycle)
+    assert len(vut) == 0
+
+
+def _spa_events():
+    rng = random.Random(9)
+    rels = [(i, frozenset(v for v in VIEWS if rng.random() < 0.7) or
+             frozenset({"V1"})) for i in range(1, N_UPDATES + 1)]
+    return rels
+
+
+def test_b9_spa_event_processing(benchmark):
+    rels = _spa_events()
+
+    def run():
+        spa = SimplePaintingAlgorithm(VIEWS)
+        units = 0
+        for update_id, views in rels:
+            spa.receive_rel(update_id, views)
+        # Deliver lists view by view (worst-case holding pattern).
+        for view in VIEWS:
+            for update_id, views in rels:
+                if view in views:
+                    units += len(spa.receive_action_list(make_al(view, [update_id])))
+        assert spa.idle()
+        return units
+
+    units = benchmark(run)
+    assert units > 0
+
+
+def test_b9_pa_event_processing_batched(benchmark):
+    rels = _spa_events()
+
+    def run():
+        pa = PaintingAlgorithm(VIEWS)
+        units = 0
+        for update_id, views in rels:
+            pa.receive_rel(update_id, views)
+        for view in VIEWS:
+            mine = [u for u, views in rels if view in views]
+            for start in range(0, len(mine), 2):
+                batch = mine[start:start + 2]
+                units += len(pa.receive_action_list(make_al(view, batch)))
+        assert pa.idle()
+        return units
+
+    units = benchmark(run)
+    assert units > 0

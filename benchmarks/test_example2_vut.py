@@ -1,0 +1,46 @@
+"""EX2 — Example 2: the ViewUpdateTable color transitions.
+
+Regenerates the paper's Example-2 tables: after REL1/REL2 the VUT shows
+white entries for relevant views and black elsewhere; after AL^2_1 arrives
+the (U1, V2) entry turns red and is *held* because (U1, V1) is still
+white.
+"""
+
+from repro.merge.spa import SimplePaintingAlgorithm
+from repro.relational.delta import Delta
+from repro.relational.rows import Row
+from repro.viewmgr.actions import ActionList
+
+
+def make_al(view, covered, tag=0):
+    return ActionList.from_delta(view, view, tuple(covered), Delta.insert(Row(x=tag)))
+
+
+def run():
+    spa = SimplePaintingAlgorithm(("V1", "V2", "V3"))
+    snapshots = {}
+    spa.receive_rel(1, frozenset({"V1", "V2"}))
+    spa.receive_rel(2, frozenset({"V2", "V3"}))
+    snapshots["after RELs"] = spa.vut.snapshot()
+    held = spa.receive_action_list(make_al("V2", [1], 21))
+    snapshots["after AL21"] = spa.vut.snapshot()
+    return spa, snapshots, held
+
+
+def test_example2_vut(benchmark, report):
+    spa, snapshots, held = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    report("Example 2 — VUT after REL1, REL2 (paper's first table):")
+    report(f"  {snapshots['after RELs']}")
+    report("VUT after AL21 arrives (paper's second table):")
+    report(f"  {snapshots['after AL21']}")
+    report(f"AL21 held (applied nothing): {held == []}")
+
+    first = snapshots["after RELs"]
+    # Paper: U1 row = (w, w, b); U2 row = (b, w, w).
+    assert [first[1][v][1] for v in ("V1", "V2", "V3")] == ["w", "w", "b"]
+    assert [first[2][v][1] for v in ("V1", "V2", "V3")] == ["b", "w", "w"]
+    second = snapshots["after AL21"]
+    # Paper: U1 row becomes (w, r, b); the list is saved, not applied.
+    assert [second[1][v][1] for v in ("V1", "V2", "V3")] == ["w", "r", "b"]
+    assert held == []

@@ -1,0 +1,281 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo``  — the Table-1 walkthrough: one update, two views, one atomic
+  warehouse transaction; prints the state sequence and the MVC verdict.
+* ``trace`` — replay a worked example (2, 3, 4 or 5) and print the VUT
+  transitions like the paper's tables.
+* ``run``   — assemble a full system over a chosen schema/view suite,
+  drive a seeded workload through it, and print metrics plus the achieved
+  MVC level.  Every architectural knob is a flag.
+
+Examples::
+
+    python -m repro demo
+    python -m repro trace 5
+    python -m repro run --schema paper --manager strong --updates 200 \\
+        --rate 4 --policy dbms-dependency --merges 2
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from repro.merge.pa import PaintingAlgorithm
+from repro.merge.spa import SimplePaintingAlgorithm
+from repro.relational.delta import Delta
+from repro.relational.rows import Row
+from repro.sources.update import Update
+from repro.system.builder import WarehouseSystem
+from repro.system.config import (
+    MANAGER_KINDS,
+    MERGE_ALGORITHMS,
+    SUBMISSION_POLICIES,
+    SystemConfig,
+)
+from repro.viewmgr.actions import ActionList
+from repro.workloads.generator import UpdateStreamGenerator, WorkloadSpec, post_stream
+from repro.workloads.schemas import (
+    bank_views,
+    bank_world,
+    clustered_views,
+    clustered_world,
+    paper_views_example1,
+    paper_views_example2,
+    paper_views_example3,
+    paper_world,
+    star_views,
+    star_world,
+)
+
+SCHEMAS = {
+    "paper": lambda: (paper_world(), paper_views_example2()),
+    "paper-ex1": lambda: (paper_world(), paper_views_example1()),
+    "paper-ex3": lambda: (paper_world(), paper_views_example3()),
+    "bank": lambda: (bank_world(customers=8), bank_views()),
+    "star": lambda: (star_world(), star_views()),
+    "star-agg": lambda: (star_world(), star_views(aggregates=True)),
+    "clustered": lambda: (clustered_world(3), clustered_views(3)),
+}
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    world = paper_world()
+    system = WarehouseSystem(
+        world, paper_views_example1(), SystemConfig(manager_kind="complete")
+    )
+    system.post_update(Update.insert("S", {"B": 2, "C": 3}), at=1.0)
+    system.run()
+    print("Table 1: insert [2,3] into S; V1 = R ./ S, V2 = S ./ T")
+    for state in system.history:
+        v1 = [tuple(r.values()) for r in state.view("V1").sorted_rows()]
+        v2 = [tuple(r.values()) for r in state.view("V2").sorted_rows()]
+        print(f"  t={state.time:6.2f}  V1={v1}  V2={v2}")
+    print(f"MVC level achieved: {system.classify()}")
+    return 0
+
+
+def _trace_al(view: str, covered: Sequence[int]) -> ActionList:
+    return ActionList.from_delta(
+        view, view, tuple(covered), Delta.insert(Row(x=covered[-1]))
+    )
+
+
+_TRACES = {
+    "2": (
+        SimplePaintingAlgorithm,
+        False,
+        [
+            ("REL1", 1, {"V1", "V2"}),
+            ("REL2", 2, {"V2", "V3"}),
+            ("AL21", "V2", [1]),
+        ],
+    ),
+    "3": (
+        SimplePaintingAlgorithm,
+        False,
+        [
+            ("REL1", 1, {"V1", "V2"}),
+            ("AL21", "V2", [1]),
+            ("REL2", 2, {"V3"}),
+            ("REL3", 3, {"V2"}),
+            ("AL32", "V3", [2]),
+            ("AL23", "V2", [3]),
+            ("AL11", "V1", [1]),
+        ],
+    ),
+    "4": (
+        PaintingAlgorithm,
+        True,
+        [
+            ("REL1", 1, {"V1", "V2"}),
+            ("REL2", 2, {"V2", "V3"}),
+            ("REL3", 3, {"V1", "V2"}),
+            ("AL13", "V1", [1, 3]),
+            ("AL21", "V2", [1]),
+            ("AL22", "V2", [2]),
+            ("AL32", "V3", [2]),
+            ("AL23", "V2", [3]),
+        ],
+    ),
+    "5": (
+        PaintingAlgorithm,
+        True,
+        [
+            ("REL1", 1, {"V1", "V2"}),
+            ("REL2", 2, {"V2", "V3"}),
+            ("REL3", 3, {"V2", "V3"}),
+            ("AL21", "V2", [1]),
+            ("AL23", "V2", [2, 3]),
+            ("AL32", "V3", [2]),
+            ("AL11", "V1", [1]),
+            ("AL33", "V3", [3]),
+        ],
+    ),
+}
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    algorithm_cls, show_state, events = _TRACES[args.example]
+    algorithm = algorithm_cls(("V1", "V2", "V3"))
+    print(f"Example {args.example} "
+          f"({'PA' if algorithm_cls is PaintingAlgorithm else 'SPA'}):")
+    for event in events:
+        name = event[0]
+        if name.startswith("REL"):
+            units = algorithm.receive_rel(event[1], frozenset(event[2]))
+        else:
+            units = algorithm.receive_action_list(_trace_al(event[1], event[2]))
+        applied = (
+            ", ".join("{" + ",".join(f"U{r}" for r in u.rows) + "}" for u in units)
+            or "-"
+        )
+        print(f"\nafter {name}: applied {applied}")
+        rendering = algorithm.vut.render(show_state=show_state)
+        print(rendering if rendering.strip() else "  (VUT empty)")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.system.sweep import format_sweep, sweep
+
+    world_factory = lambda: SCHEMAS[args.schema]()[0]  # noqa: E731
+    views_factory = lambda: SCHEMAS[args.schema]()[1]  # noqa: E731
+    variants = {}
+    for kind in args.variants.split(","):
+        kind = kind.strip()
+        if kind not in MANAGER_KINDS:
+            raise SystemExit(f"unknown manager kind {kind!r}")
+        variants[kind] = SystemConfig(manager_kind=kind, seed=args.seed)
+    spec = WorkloadSpec(
+        updates=args.updates,
+        rate=args.rate,
+        seed=args.seed,
+        mix=(0.6, 0.2, 0.2),
+        arrivals="poisson",
+    )
+    rows = sweep(world_factory, views_factory, spec, variants)
+    print(f"schema={args.schema}  updates={args.updates}  rate={args.rate}")
+    print(format_sweep(rows))
+    return 0 if all(r.verified for r in rows) else 1
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    world, views = SCHEMAS[args.schema]()
+    if args.views_file:
+        from repro.relational.catalog import load_views
+
+        views = load_views(args.views_file)
+    config = SystemConfig(
+        manager_kind=args.manager,
+        merge_algorithm=args.algorithm,
+        submission_policy=args.policy,
+        merge_groups=args.merges,
+        manager_mode=args.mode,
+        use_selection_filtering=args.filtering,
+        warehouse_executors=args.executors,
+        merge_message_cost=args.merge_cost,
+        seed=args.seed,
+    )
+    spec = WorkloadSpec(
+        updates=args.updates,
+        rate=args.rate,
+        seed=args.seed,
+        mix=(0.6, 0.2, 0.2),
+        arrivals="poisson",
+    )
+    system = WarehouseSystem(world, views, config)
+    post_stream(system, UpdateStreamGenerator(world, spec).transactions())
+    system.run()
+    metrics = system.metrics()
+    print(f"schema={args.schema} views={len(views)} "
+          f"manager={args.manager} merge x{len(system.merge_processes)} "
+          f"policy={args.policy}")
+    print(metrics.format_row())
+    print(f"promised MVC level: {system.expected_level()}")
+    print(f"achieved MVC level: {system.classify()}")
+    report = system.check_mvc("auto")
+    print(f"verification: {'OK' if report else 'FAILED — ' + report.reason}")
+    return 0 if report else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Multiple View Consistency for Data Warehousing "
+        "(ICDE 1997) — reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("demo", help="the Table-1 walkthrough")
+
+    trace = sub.add_parser("trace", help="replay a worked example's VUT trace")
+    trace.add_argument("example", choices=sorted(_TRACES))
+
+    run = sub.add_parser("run", help="run a configurable warehouse workload")
+    run.add_argument("--schema", choices=sorted(SCHEMAS), default="paper")
+    run.add_argument("--manager", choices=MANAGER_KINDS, default="complete")
+    run.add_argument("--algorithm", choices=MERGE_ALGORITHMS, default="auto")
+    run.add_argument("--policy", choices=SUBMISSION_POLICIES,
+                     default="dependency-sequenced")
+    run.add_argument("--mode", choices=("cached", "snapshot", "compensate"),
+                     default="cached")
+    run.add_argument("--merges", type=int, default=1)
+    run.add_argument("--executors", type=int, default=1)
+    run.add_argument("--merge-cost", type=float, default=0.0)
+    run.add_argument("--updates", type=int, default=100)
+    run.add_argument("--rate", type=float, default=2.0)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--filtering", action="store_true",
+                     help="enable selection-condition relevance filtering")
+    run.add_argument("--views-file", default=None,
+                     help="load view definitions from a catalog file "
+                     "(overrides the schema's default view suite)")
+
+    swp = sub.add_parser(
+        "sweep", help="compare manager kinds on one workload"
+    )
+    swp.add_argument("--schema", choices=sorted(SCHEMAS), default="paper")
+    swp.add_argument("--variants", default="complete,strong,convergent",
+                     help="comma-separated manager kinds to compare")
+    swp.add_argument("--updates", type=int, default=80)
+    swp.add_argument("--rate", type=float, default=2.0)
+    swp.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "demo":
+        return _cmd_demo(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    return _cmd_run(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

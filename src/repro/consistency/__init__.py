@@ -1,0 +1,59 @@
+"""Executable consistency definitions (paper §2).
+
+The paper defines consistency over two sequences:
+
+* the **consistent source state sequence** ``ss_0 .. ss_f`` — base-data
+  states after each committed transaction of the serial schedule;
+* the **warehouse state sequence** ``ws_0 .. ws_q`` — view contents after
+  each warehouse transaction.
+
+This package turns every definition into a checker that takes those two
+sequences and says whether (and how) they correspond:
+
+* single-view **convergence** — the final view equals ``V(ss_f)``;
+* single-view **strong consistency** — an order-preserving mapping from
+  warehouse states onto source states exists and ends at ``ss_f``;
+* single-view **completeness** — strong, plus every source state is
+  reflected (the view walks through *all* of ``V(ss_0) .. V(ss_f)``);
+* the **MVC** variants of each — identical definitions with the per-view
+  equality ``=`` replaced by the all-views-at-once equality ``≈`` (§2.3).
+
+The checkers are the oracles for the whole test suite: SPA runs must be
+MVC-complete, PA runs MVC-strongly-consistent, pass-through runs
+MVC-convergent — for *any* message interleaving.
+"""
+
+from repro.consistency.states import replay_source_states, source_view_values
+from repro.consistency.checker import (
+    ConsistencyReport,
+    check_complete,
+    check_convergent,
+    check_strong,
+)
+from repro.consistency.mvc import (
+    check_mvc_complete,
+    check_mvc_convergent,
+    check_mvc_strong,
+    classify_mvc,
+)
+from repro.consistency.ordered import (
+    check_mvc_ordered,
+    classify_mvc_ordered,
+    reconstruct_schedule,
+)
+
+__all__ = [
+    "replay_source_states",
+    "source_view_values",
+    "ConsistencyReport",
+    "check_convergent",
+    "check_strong",
+    "check_complete",
+    "check_mvc_convergent",
+    "check_mvc_strong",
+    "check_mvc_complete",
+    "classify_mvc",
+    "check_mvc_ordered",
+    "classify_mvc_ordered",
+    "reconstruct_schedule",
+]

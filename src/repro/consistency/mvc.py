@@ -1,0 +1,94 @@
+"""Multiple view consistency checkers (§2.3).
+
+"The definitions for multiple view consistency (MVC) are very similar to
+that for single view consistency.  All we need to do is replace '=' by '≈'
+in our previous definitions" — i.e. compare the *vector* of all view
+contents at once instead of one view at a time.
+
+These functions take the warehouse history (a sequence of
+:class:`~repro.warehouse.store.WarehouseState`) and the source state
+sequence, build the two vector-valued sequences, and delegate to the
+single-sequence checkers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.consistency.checker import (
+    ConsistencyReport,
+    check_complete,
+    check_convergent,
+    check_strong,
+    strongest_level,
+)
+from repro.consistency.states import source_view_values
+from repro.relational.database import Database
+from repro.relational.expressions import ViewDefinition
+from repro.warehouse.store import WarehouseState
+
+
+def _warehouse_vectors(
+    history: Sequence[WarehouseState],
+    definitions: Sequence[ViewDefinition],
+) -> list[tuple]:
+    names = tuple(d.name for d in definitions)
+    return [tuple(state.view(name) for name in names) for state in history]
+
+
+def _source_vectors(
+    source_states: Sequence[Database],
+    definitions: Sequence[ViewDefinition],
+) -> list[tuple]:
+    names = tuple(d.name for d in definitions)
+    values = source_view_values(source_states, definitions)
+    return [tuple(per_state[name] for name in names) for per_state in values]
+
+
+def check_mvc_convergent(
+    history: Sequence[WarehouseState],
+    source_states: Sequence[Database],
+    definitions: Sequence[ViewDefinition],
+) -> ConsistencyReport:
+    """All views eventually equal their final source evaluation."""
+    return check_convergent(
+        _warehouse_vectors(history, definitions),
+        _source_vectors(source_states, definitions),
+    )
+
+
+def check_mvc_strong(
+    history: Sequence[WarehouseState],
+    source_states: Sequence[Database],
+    definitions: Sequence[ViewDefinition],
+) -> ConsistencyReport:
+    """Every warehouse state is mutually consistent with one source state,
+    in order, reaching the final state (Theorem 5.1's guarantee for PA)."""
+    return check_strong(
+        _warehouse_vectors(history, definitions),
+        _source_vectors(source_states, definitions),
+    )
+
+
+def check_mvc_complete(
+    history: Sequence[WarehouseState],
+    source_states: Sequence[Database],
+    definitions: Sequence[ViewDefinition],
+) -> ConsistencyReport:
+    """Strong, plus every source state reflected (Theorem 4.1, SPA)."""
+    return check_complete(
+        _warehouse_vectors(history, definitions),
+        _source_vectors(source_states, definitions),
+    )
+
+
+def classify_mvc(
+    history: Sequence[WarehouseState],
+    source_states: Sequence[Database],
+    definitions: Sequence[ViewDefinition],
+) -> str:
+    """The strongest MVC level a run achieved."""
+    return strongest_level(
+        _warehouse_vectors(history, definitions),
+        _source_vectors(source_states, definitions),
+    )

@@ -1,0 +1,177 @@
+"""Order-aware MVC checkers.
+
+The painting algorithms may apply independent updates out of numbering
+order ("some actions corresponding to later updates may be applied before
+actions for earlier ones, provided that those updates do not affect the
+same views" — §4.1).  The §2 definitions cover this: consistency is judged
+against *a* consistent source state sequence, i.e. the state sequence of
+**any** serial schedule equivalent to the real one.
+
+These checkers therefore
+
+1. reconstruct the application schedule ``R`` from the warehouse history
+   (the concatenation of each transaction's covered update ids);
+2. verify ``R`` is conflict-equivalent to the commit schedule ``S`` —
+   sufficient condition: updates touching a common base relation appear in
+   their original numbering order (same-relation updates never commute
+   conservatively; cross-relation ones always do);
+3. replay ``R`` over the initial base state and require each warehouse
+   state vector to equal the evaluated views at its cumulative prefix;
+4. require the final warehouse state to equal the evaluation at the full
+   schedule ``S`` — this also catches an unsound relevance filter, since
+   updates missing from ``R`` (never routed to any view) must be
+   value-invisible for the final states to agree.
+
+Completeness additionally requires every applied transaction to advance
+the warehouse by exactly one update (no batching, no skipped states).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.consistency.checker import ConsistencyReport
+from repro.relational.algebra import evaluate
+from repro.relational.database import Database
+from repro.relational.expressions import ViewDefinition
+from repro.sources.transactions import SourceTransaction
+from repro.warehouse.store import WarehouseState
+
+
+def reconstruct_schedule(history: Sequence[WarehouseState]) -> list[int]:
+    """``R``: update ids in warehouse application order."""
+    schedule: list[int] = []
+    for state in history:
+        schedule.extend(state.covered_rows)
+    return schedule
+
+
+def _conflict_order_ok(
+    schedule: Sequence[int],
+    transactions: Mapping[int, SourceTransaction],
+) -> str | None:
+    """Check same-relation updates keep numbering order; None if ok."""
+    last_seen: dict[str, int] = {}
+    for update_id in schedule:
+        for relation in transactions[update_id].relations:
+            previous = last_seen.get(relation)
+            if previous is not None and previous > update_id:
+                return (
+                    f"updates U{previous} and U{update_id} both touch "
+                    f"{relation!r} but were applied out of order"
+                )
+            last_seen[relation] = update_id
+    return None
+
+
+def _evaluate_views(
+    state: Database, definitions: Sequence[ViewDefinition]
+) -> tuple:
+    return tuple(evaluate(d.expression, state) for d in definitions)
+
+
+def _warehouse_vector(
+    state: WarehouseState, definitions: Sequence[ViewDefinition]
+) -> tuple:
+    return tuple(state.view(d.name) for d in definitions)
+
+
+def check_mvc_ordered(
+    history: Sequence[WarehouseState],
+    initial: Database,
+    numbered: Sequence[tuple[int, SourceTransaction, float]],
+    definitions: Sequence[ViewDefinition],
+    level: str = "strong",
+) -> ConsistencyReport:
+    """Verify MVC at ``level`` ("strong" or "complete") against schedule R."""
+    transactions = {update_id: txn for update_id, txn, _time in numbered}
+    schedule = reconstruct_schedule(history)
+    label = f"mvc-{level}"
+
+    if len(set(schedule)) != len(schedule):
+        return ConsistencyReport(
+            False, label, f"some update applied twice in schedule {schedule}"
+        )
+    unknown = [u for u in schedule if u not in transactions]
+    if unknown:
+        return ConsistencyReport(
+            False, label, f"warehouse applied unknown updates {unknown}"
+        )
+    reason = _conflict_order_ok(schedule, transactions)
+    if reason is not None:
+        return ConsistencyReport(False, label, reason)
+
+    # Replay R prefix by prefix and compare against each warehouse state.
+    scratch = initial.snapshot()
+    scratch._frozen = False
+    if not history:
+        return ConsistencyReport(False, label, "empty warehouse history")
+    if _warehouse_vector(history[0], definitions) != _evaluate_views(
+        scratch, definitions
+    ):
+        return ConsistencyReport(
+            False, label, "initial warehouse state does not reflect ss_0"
+        )
+    applied = 0
+    for state in history[1:]:
+        if level == "complete" and len(state.covered_rows) != 1:
+            return ConsistencyReport(
+                False,
+                label,
+                f"transaction {state.txn_id} advances the warehouse by "
+                f"{len(state.covered_rows)} updates; completeness requires "
+                f"one source state per warehouse state",
+            )
+        for update_id in state.covered_rows:
+            scratch.apply_deltas(transactions[update_id].deltas())
+            applied += 1
+        expected = _evaluate_views(scratch, definitions)
+        got = _warehouse_vector(state, definitions)
+        if got != expected:
+            return ConsistencyReport(
+                False,
+                label,
+                f"warehouse state #{state.index} (after txn {state.txn_id}, "
+                f"{applied} updates applied) does not match the replayed "
+                f"schedule prefix",
+            )
+
+    # Final check against the *full* commit schedule: updates never applied
+    # at the warehouse must have been value-invisible.
+    full = initial.snapshot()
+    full._frozen = False
+    for update_id in sorted(transactions):
+        full.apply_deltas(transactions[update_id].deltas())
+    if _warehouse_vector(history[-1], definitions) != _evaluate_views(
+        full, definitions
+    ):
+        return ConsistencyReport(
+            False,
+            label,
+            "final warehouse state does not reflect the final source state "
+            "(a skipped update was not value-invisible)",
+        )
+    return ConsistencyReport(True, label)
+
+
+def classify_mvc_ordered(
+    history: Sequence[WarehouseState],
+    initial: Database,
+    numbered: Sequence[tuple[int, SourceTransaction, float]],
+    definitions: Sequence[ViewDefinition],
+) -> str:
+    """Strongest level achieved: complete > strong > convergent > inconsistent."""
+    if check_mvc_ordered(history, initial, numbered, definitions, "complete"):
+        return "complete"
+    if check_mvc_ordered(history, initial, numbered, definitions, "strong"):
+        return "strong"
+    # Convergence: final state only.
+    full = initial.snapshot()
+    full._frozen = False
+    for _update_id, txn, _time in sorted(numbered):
+        full.apply_deltas(txn.deltas())
+    if history and _warehouse_vector(history[-1], definitions) == _evaluate_views(
+        full, definitions
+    ):
+        return "convergent"
+    return "inconsistent"

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the MVC reproduction library.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+base class.  Subsystems raise the most specific subclass that applies.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed or a row does not match its schema."""
+
+
+class RelationError(ReproError):
+    """An illegal operation on a relation (e.g. deleting an absent row)."""
+
+
+class ExpressionError(ReproError):
+    """A relational expression is malformed or cannot be evaluated."""
+
+
+class ParseError(ReproError):
+    """The view-definition parser rejected its input."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was used incorrectly."""
+
+
+class SourceError(ReproError):
+    """A data-source operation failed (unknown relation, bad transaction)."""
+
+
+class IntegratorError(ReproError):
+    """The integrator received inconsistent information."""
+
+
+class ViewManagerError(ReproError):
+    """A view manager was driven incorrectly."""
+
+
+class MergeError(ReproError):
+    """The merge process received inconsistent or out-of-protocol input."""
+
+
+class WarehouseError(ReproError):
+    """A warehouse transaction could not be applied."""
+
+
+class ConsistencyViolation(ReproError):
+    """A consistency checker found a violated definition.
+
+    Raised by the ``require_*`` convenience wrappers in
+    :mod:`repro.consistency`; the plain ``check_*`` functions return a
+    report object instead of raising.
+    """

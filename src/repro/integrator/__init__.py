@@ -1,0 +1,24 @@
+"""The integrator and its base-data service.
+
+The integrator (§3.2) numbers incoming source updates by arrival order,
+computes the relevant-view set ``REL_i`` for each, forwards ``REL_i`` to
+the merge process(es) and a copy of the update to every relevant view
+manager.
+
+The :class:`BaseDataService` plays the role of "base data cached at the
+warehouse" that §1.1 mentions: it replays the numbered update stream into
+a versioned database so view managers can read consistent pre-states
+(multiversion snapshots) or current state plus undo information
+(compensation mode) without re-contacting autonomous sources.
+"""
+
+from repro.integrator.relevance import RelevanceFilter, relevant_views
+from repro.integrator.integrator import Integrator
+from repro.integrator.basedata import BaseDataService
+
+__all__ = [
+    "RelevanceFilter",
+    "relevant_views",
+    "Integrator",
+    "BaseDataService",
+]

@@ -1,0 +1,157 @@
+"""The integrator process, §3.2.
+
+On each committed-transaction report the integrator
+
+1. numbers the update by arrival order (``U_5`` is the fifth received);
+2. determines the relevant view set ``REL_i``;
+3. sends ``REL_i`` to the merge process(es) responsible for those views;
+4. sends a copy of ``U_i`` to each relevant view manager;
+
+plus, in this implementation, feeds the numbered stream to the base-data
+service (so snapshot/compensate-mode view managers have something to
+query) and, for complete-N systems, broadcasts end-of-block markers.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+from repro.errors import IntegratorError
+from repro.integrator.relevance import RelevanceFilter
+from repro.messages import NumberedUpdate, RelMessage, UpdateForView, UpdateNotification
+from repro.relational.expressions import ViewDefinition
+from repro.relational.schema import Schema
+from repro.sim.process import Process
+from repro.viewmgr.complete_n import EndOfBlock
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+    from repro.sources.transactions import SourceTransaction
+
+
+class Integrator(Process):
+    """Numbers updates and routes them to merges and view managers."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        definitions: Sequence[ViewDefinition],
+        base_schemas: Mapping[str, Schema],
+        name: str = "integrator",
+        merge_groups: Mapping[str, tuple[str, ...]] | None = None,
+        view_manager_names: Mapping[str, str] | None = None,
+        service_name: str | None = "basedata",
+        use_selection_filtering: bool = False,
+        send_empty_rels: bool = False,
+        block_size: int | None = None,
+        per_update_cost: float = 0.0,
+    ) -> None:
+        super().__init__(sim, name)
+        self.definitions = tuple(definitions)
+        self.filter = RelevanceFilter(
+            self.definitions, base_schemas, use_selections=use_selection_filtering
+        )
+        view_names = tuple(d.name for d in self.definitions)
+        self.merge_groups: dict[str, frozenset[str]] = {
+            merge: frozenset(views)
+            for merge, views in (merge_groups or {"merge": view_names}).items()
+        }
+        self._check_groups(view_names)
+        self.view_manager_names = dict(
+            view_manager_names or {v: f"vm:{v}" for v in view_names}
+        )
+        self.service_name = service_name
+        self.send_empty_rels = send_empty_rels
+        self.block_size = block_size
+        self.per_update_cost = per_update_cost
+        self.updates_numbered = 0
+        self.rel_messages_sent = 0
+        self.update_copies_sent = 0
+        self.filtered_out = 0  # view routings suppressed by selection filtering
+        #: (update_id, transaction, source commit time) in numbering order —
+        #: the reference schedule the consistency checkers replay.
+        self.numbered: list[tuple[int, "SourceTransaction", float]] = []
+
+    def _check_groups(self, view_names: tuple[str, ...]) -> None:
+        covered: set[str] = set()
+        for merge, views in self.merge_groups.items():
+            overlap = covered & views
+            if overlap:
+                raise IntegratorError(
+                    f"views {sorted(overlap)} assigned to several merges"
+                )
+            covered |= views
+        missing = set(view_names) - covered
+        if missing:
+            raise IntegratorError(f"views {sorted(missing)} have no merge process")
+
+    # -- message handling ------------------------------------------------------
+    def service_time(self, message: object) -> float:
+        return self.per_update_cost
+
+    def handle(self, message: object, sender: Process) -> None:
+        if not isinstance(message, UpdateNotification):
+            raise IntegratorError(
+                f"integrator cannot handle {type(message).__name__}"
+            )
+        transaction = message.transaction
+        self.updates_numbered += 1
+        update_id = self.updates_numbered
+        self.numbered.append((update_id, transaction, message.commit_time))
+
+        # Keep the base-data service's versions aligned with our numbering.
+        if self.service_name is not None:
+            self.send(
+                self.service_name,
+                NumberedUpdate(update_id, transaction.updates),
+            )
+
+        relevant = self.filter.relevant_views(transaction.updates)
+        base_level = frozenset(
+            view
+            for update in transaction.updates
+            for view in self.filter.views_reading(update.relation)
+        )
+        self.filtered_out += len(base_level - relevant)
+        self.trace("int_number", update_id=update_id, rel=tuple(sorted(relevant)))
+
+        # Step 3: REL_i to each merge owning some relevant view.  A single
+        # transaction must stay within one merge group: groups share no
+        # base relations (§6.1), so only a multi-update transaction could
+        # span groups — and then no single merge could apply it atomically.
+        touched_groups = [
+            merge
+            for merge, group in self.merge_groups.items()
+            if relevant & group
+        ]
+        if len(touched_groups) > 1:
+            raise IntegratorError(
+                f"transaction U{update_id} is relevant to views in several "
+                f"merge groups ({sorted(touched_groups)}); §6.1 partitioning "
+                f"cannot apply it atomically — use fewer merge groups or "
+                f"keep transactions within one group"
+            )
+        for merge, group in sorted(self.merge_groups.items()):
+            subset = relevant & group
+            if subset or self.send_empty_rels:
+                self.send(merge, RelMessage(update_id, subset))
+                self.rel_messages_sent += 1
+
+        # Step 4: a copy of U_i to each relevant view manager, restricted
+        # to the updates that view actually reads (matters for §6.2
+        # multi-update transactions).
+        for view in sorted(relevant):
+            updates = self.filter.relevant_updates_for_view(
+                view, transaction.updates
+            )
+            self.send(
+                self.view_manager_names[view],
+                UpdateForView(update_id, view, updates),
+            )
+            self.update_copies_sent += 1
+
+        # Complete-N support: close blocks as numbering crosses boundaries.
+        if self.block_size and update_id % self.block_size == 0:
+            marker = EndOfBlock(update_id // self.block_size, update_id)
+            for vm_name in sorted(set(self.view_manager_names.values())):
+                self.send(vm_name, marker)

@@ -1,0 +1,64 @@
+"""The merge process: MVC coordination between view managers and warehouse.
+
+This package contains the paper's central contribution:
+
+* :class:`ViewUpdateTable` (VUT) — the two-dimensional table of §4.1 whose
+  entries are colored white / red / gray / black (plus the ``state`` field
+  added for PA in §5.1).
+* :class:`SimplePaintingAlgorithm` (SPA, §4) — merge algorithm for
+  *complete* view managers; MVC-complete and prompt.
+* :class:`PaintingAlgorithm` (PA, §5) — merge algorithm for *strongly
+  consistent* view managers; MVC-strongly-consistent and prompt.
+* Pass-through and complete-N merge policies (§6.3), and
+  :func:`choose_algorithm` implementing the weakest-level rule for mixed
+  view-manager fleets.
+* Submission policies (§4.3) controlling warehouse commit order:
+  sequential, dependency-sequenced, DBMS-dependency, batching (BWT), and
+  the deliberately unsafe eager policy that exhibits the §4.3 hazard.
+* :func:`partition_views` (§6.1) — splitting the merge work across several
+  merge processes along shared-base-relation boundaries.
+
+The algorithms are plain (simulator-free) classes driven by
+``receive_rel`` / ``receive_action_list`` events; :class:`MergeProcess`
+wraps one of them as a simulated Figure-1 process.
+"""
+
+from repro.merge.vut import Color, Entry, ViewUpdateTable
+from repro.merge.base import MergeAlgorithm, ReadyUnit
+from repro.merge.spa import SimplePaintingAlgorithm
+from repro.merge.pa import PaintingAlgorithm
+from repro.merge.passthrough import PassThroughMerge
+from repro.merge.complete_n import CompleteNMerge
+from repro.merge.selection import choose_algorithm, weakest_level
+from repro.merge.submission import (
+    BatchingPolicy,
+    DbmsDependencyPolicy,
+    DependencySequencedPolicy,
+    EagerPolicy,
+    SequentialPolicy,
+    SubmissionPolicy,
+)
+from repro.merge.process import MergeProcess
+from repro.merge.distributed import partition_views
+
+__all__ = [
+    "Color",
+    "Entry",
+    "ViewUpdateTable",
+    "MergeAlgorithm",
+    "ReadyUnit",
+    "SimplePaintingAlgorithm",
+    "PaintingAlgorithm",
+    "PassThroughMerge",
+    "CompleteNMerge",
+    "choose_algorithm",
+    "weakest_level",
+    "SubmissionPolicy",
+    "EagerPolicy",
+    "SequentialPolicy",
+    "DependencySequencedPolicy",
+    "DbmsDependencyPolicy",
+    "BatchingPolicy",
+    "MergeProcess",
+    "partition_views",
+]

@@ -1,0 +1,104 @@
+"""Distributing the merge process (§6.1).
+
+"The most straightforward way of splitting is to first partition view
+managers into groups such that base relations used in the views of one
+group are disjoint with those used in the views of other groups.  Then
+each group of views is assigned one merge process."
+
+:func:`partition_views` computes exactly those groups: connected
+components of the bipartite view/base-relation sharing graph (union-find —
+no external dependency).  The system builder assigns one
+:class:`~repro.merge.process.MergeProcess` per group and routes each
+``REL_i`` (restricted to the group) plus the group's action lists to it.
+Updates touching relations of different groups never interact, so the
+groups' warehouse transactions are always independent and MVC is preserved
+without cross-merge coordination.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import MergeError
+from repro.relational.expressions import ViewDefinition
+
+
+class _UnionFind:
+    """Minimal union-find over arbitrary hashable items."""
+
+    def __init__(self) -> None:
+        self._parent: dict[object, object] = {}
+
+    def find(self, item: object) -> object:
+        parent = self._parent.setdefault(item, item)
+        if parent is item or parent == item:
+            return item
+        root = self.find(parent)
+        self._parent[item] = root
+        return root
+
+    def union(self, a: object, b: object) -> None:
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a != root_b:
+            self._parent[root_b] = root_a
+
+
+def partition_views(
+    definitions: Sequence[ViewDefinition],
+    max_groups: int | None = None,
+) -> list[tuple[str, ...]]:
+    """Group views so groups share no base relations.
+
+    Returns groups as tuples of view names, each sorted, the groups
+    ordered by their first view name.  ``max_groups`` optionally coalesces
+    the finest partition into at most that many groups (merging the
+    smallest groups first) — useful when running one merge process per
+    group would be too many processes.
+    """
+    if not definitions:
+        raise MergeError("cannot partition zero views")
+    names = [d.name for d in definitions]
+    if len(set(names)) != len(names):
+        raise MergeError(f"duplicate view names: {names}")
+    uf = _UnionFind()
+    for definition in definitions:
+        view_key = ("view", definition.name)
+        uf.find(view_key)
+        for relation in definition.base_relations():
+            uf.union(view_key, ("rel", relation))
+    groups: dict[object, list[str]] = {}
+    for definition in definitions:
+        root = uf.find(("view", definition.name))
+        groups.setdefault(root, []).append(definition.name)
+    result = sorted(
+        (tuple(sorted(views)) for views in groups.values()),
+        key=lambda group: group[0],
+    )
+    if max_groups is not None and max_groups >= 1 and len(result) > max_groups:
+        result = _coalesce(result, max_groups)
+    return result
+
+
+def _coalesce(
+    groups: list[tuple[str, ...]], max_groups: int
+) -> list[tuple[str, ...]]:
+    """Merge the smallest groups until at most ``max_groups`` remain."""
+    working = [list(g) for g in groups]
+    while len(working) > max_groups:
+        working.sort(key=len)
+        smallest = working.pop(0)
+        working[0].extend(smallest)
+    return sorted(
+        (tuple(sorted(views)) for views in working),
+        key=lambda group: group[0],
+    )
+
+
+def group_for_view(
+    groups: Iterable[tuple[str, ...]], view: str
+) -> tuple[str, ...]:
+    """Find the group containing ``view``."""
+    for group in groups:
+        if view in group:
+            return group
+    raise MergeError(f"view {view!r} is in no group")

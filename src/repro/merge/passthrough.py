@@ -1,0 +1,50 @@
+"""The pass-through merge policy for convergent view managers (§6.3).
+
+"Then the MP can just pass along all ALs it received, and also guarantees
+the convergence of the warehouse views.  That is, all warehouse views are
+consistent eventually, although some of them may go through inconsistent
+intermediate states."
+
+No VUT, no holding: every action list becomes its own warehouse
+transaction the moment it arrives.  REL messages are accepted (the
+integrator does not special-case convergent systems) but ignored.
+"""
+
+from __future__ import annotations
+
+from repro.merge.base import MergeAlgorithm, ReadyUnit
+from repro.viewmgr.actions import ActionList
+
+
+class PassThroughMerge(MergeAlgorithm):
+    """Forward every action list immediately; convergence only."""
+
+    requires_level = "convergent"
+    guarantees_level = "convergent"
+
+    def __init__(self, views: tuple[str, ...], name: str = "passthrough") -> None:
+        super().__init__(views, name)
+
+    # Convergent managers may emit several lists per update and need no
+    # REL bookkeeping, so bypass the base class's ordering machinery.
+    def receive_rel(self, update_id: int, views: frozenset[str]) -> list[ReadyUnit]:
+        self.rels_received += 1
+        self._last_rel_id = max(self._last_rel_id, update_id)
+        return []
+
+    def receive_action_list(self, action_list: ActionList) -> list[ReadyUnit]:
+        self.als_received += 1
+        if action_list.is_empty:
+            return []
+        unit = ReadyUnit(action_list.covered, (action_list,))
+        self.units_emitted += 1
+        return [unit]
+
+    def idle(self) -> bool:
+        return True
+
+    def _on_rel(self, update_id: int, views: frozenset[str]) -> list[ReadyUnit]:
+        raise AssertionError("unreachable: receive_rel is overridden")
+
+    def _on_action_list(self, action_list: ActionList) -> list[ReadyUnit]:
+        raise AssertionError("unreachable: receive_action_list is overridden")

@@ -1,0 +1,119 @@
+"""The merge process of Figure 1: a simulated wrapper around an algorithm.
+
+``MergeProcess = MergeAlgorithm + SubmissionPolicy``.  It consumes
+``RelMessage`` and ``ActionListMessage`` events, turns the algorithm's
+ready units into numbered warehouse transactions, hands them to the
+submission policy, and feeds warehouse commit notifications back to the
+policy.  Its ``service_time`` models per-message coordination cost — the
+knob the §7 bottleneck study turns.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import MergeError
+from repro.merge.base import MergeAlgorithm, ReadyUnit
+from repro.merge.submission import SequentialPolicy, SubmissionPolicy
+from repro.messages import (
+    ActionListMessage,
+    CommitNotification,
+    RelMessage,
+    WarehouseTransactionMsg,
+)
+from repro.sim.process import Process
+from repro.warehouse.txn import WarehouseTransaction
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+
+class MergeProcess(Process):
+    """Runs a merge algorithm against live message traffic."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        algorithm: MergeAlgorithm,
+        name: str | None = None,
+        warehouse_name: str = "warehouse",
+        policy: SubmissionPolicy | None = None,
+        per_message_cost: float = 0.0,
+        txn_id_start: int = 1,
+        txn_id_step: int = 1,
+    ) -> None:
+        super().__init__(sim, name or algorithm.name)
+        self.algorithm = algorithm
+        self.warehouse_name = warehouse_name
+        self.policy = policy if policy is not None else SequentialPolicy()
+        self.per_message_cost = per_message_cost
+        # Distributed merges interleave disjoint id streams (start/step) so
+        # transaction ids stay globally unique without coordination.
+        self._next_txn_id = txn_id_start
+        self._txn_id_step = txn_id_step
+        self.policy.bind(self._submit_to_warehouse, self._allocate_txn_id)
+        self.transactions_formed = 0
+
+    # -- plumbing -----------------------------------------------------------
+    def _allocate_txn_id(self) -> int:
+        txn_id = self._next_txn_id
+        self._next_txn_id += self._txn_id_step
+        return txn_id
+
+    def _submit_to_warehouse(self, message: WarehouseTransactionMsg) -> None:
+        self.trace(
+            "merge_submit",
+            txn=message.txn.txn_id,
+            rows=message.txn.covered_rows,
+            after=message.sequenced_after,
+        )
+        self.send(self.warehouse_name, message)
+
+    # -- message handling -------------------------------------------------------
+    def service_time(self, message: object) -> float:
+        return self.per_message_cost
+
+    def handle(self, message: object, sender: Process) -> None:
+        if isinstance(message, RelMessage):
+            ready = self.algorithm.receive_rel(message.update_id, message.views)
+        elif isinstance(message, ActionListMessage):
+            ready = self.algorithm.receive_action_list(message.action_list)
+        elif isinstance(message, CommitNotification):
+            self.policy.on_commit(message.txn_id)
+            return
+        else:
+            raise MergeError(
+                f"{self.name} cannot handle {type(message).__name__}"
+            )
+        for unit in ready:
+            self._offer(unit)
+        vut = getattr(self.algorithm, "vut", None)
+        if vut is not None:
+            self.trace("vut_size", size=len(vut))
+
+    def _offer(self, unit: ReadyUnit) -> None:
+        txn = WarehouseTransaction(
+            txn_id=self._allocate_txn_id(),
+            merge_name=self.name,
+            action_lists=unit.action_lists,
+            covered_rows=unit.rows,
+        )
+        self.transactions_formed += 1
+        self.trace("merge_ready", txn=txn.txn_id, rows=unit.rows)
+        self.policy.offer(txn)
+
+    def flush(self) -> None:
+        """Release anything the algorithm or policy is holding voluntarily."""
+        flush_units = getattr(self.algorithm, "flush", None)
+        if callable(flush_units):
+            for unit in flush_units():
+                self._offer(unit)
+        self.policy.flush()
+
+    # -- inspection ------------------------------------------------------------
+    def idle(self) -> bool:
+        return (
+            self.queue_length == 0
+            and self.algorithm.idle()
+            and self.policy.pending == 0
+        )

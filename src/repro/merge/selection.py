@@ -1,0 +1,56 @@
+"""Choosing a merge algorithm for a fleet of view managers (§6.3).
+
+"When there is a combination of different types of view managers in the
+system, it is always possible to use the merge algorithm corresponding to
+the view manager guaranteeing the weakest level of consistency.  For
+example, if there are both complete and strongly consistent view managers
+in a system, a MP can always use PA to guarantee strong consistency."
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import MergeError
+from repro.merge.base import MergeAlgorithm
+from repro.merge.pa import PaintingAlgorithm
+from repro.merge.passthrough import PassThroughMerge
+from repro.merge.spa import SimplePaintingAlgorithm
+
+#: consistency levels, strongest first; "broken" deliberately maps to the
+#: weakest coordination (pass-through) so the anomaly demos can run.
+_LEVEL_ORDER = ("complete", "complete-n", "strong", "convergent", "broken")
+
+
+def weakest_level(levels: Iterable[str]) -> str:
+    """The weakest single-view consistency level present in ``levels``."""
+    seen = list(levels)
+    if not seen:
+        raise MergeError("no view-manager levels given")
+    for level in seen:
+        if level not in _LEVEL_ORDER:
+            raise MergeError(
+                f"unknown consistency level {level!r}; "
+                f"expected one of {_LEVEL_ORDER}"
+            )
+    return max(seen, key=_LEVEL_ORDER.index)
+
+
+def choose_algorithm(
+    views: tuple[str, ...],
+    levels: Iterable[str],
+    name: str = "merge",
+) -> MergeAlgorithm:
+    """Build the weakest-level-appropriate merge algorithm for ``views``.
+
+    * all managers complete            -> SPA  (MVC-complete)
+    * complete-N present               -> PA   (treats blocks as batches)
+    * any strongly consistent manager  -> PA   (MVC-strong)
+    * any convergent (or broken) one   -> pass-through (convergence only)
+    """
+    level = weakest_level(levels)
+    if level == "complete":
+        return SimplePaintingAlgorithm(views, name=name)
+    if level in ("strong", "complete-n"):
+        return PaintingAlgorithm(views, name=name)
+    return PassThroughMerge(views, name=name)

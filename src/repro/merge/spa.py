@@ -1,0 +1,113 @@
+"""Algorithm 1: the Simple Painting Algorithm (SPA), §4.
+
+SPA coordinates *complete* view managers: every relevant update ``U_i``
+produces exactly one action list per relevant view, so the merge process
+waits for one AL per white VUT entry, applies each row as a single
+warehouse transaction as soon as it (and every dependent earlier row) is
+ready, and purges applied rows.
+
+SPA is *complete under MVC* (Theorem 4.1) and *prompt*: it never delays an
+action list that could safely be applied.
+
+``strict`` (default) rejects action lists covering more than one update —
+those come from strongly consistent managers and break SPA, as Example 4
+shows.  ``strict=False`` reproduces the paper's Example-4 misbehaviour by
+treating a batched list the way a naive SPA would (coloring every covered
+entry red without the state bookkeeping PA adds); it exists so tests and
+benchmarks can demonstrate *why* PA is necessary.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.errors import MergeError
+from repro.merge.base import MergeAlgorithm, ReadyUnit
+from repro.merge.vut import Color, ViewUpdateTable
+from repro.viewmgr.actions import ActionList
+
+
+class SimplePaintingAlgorithm(MergeAlgorithm):
+    """SPA: MVC-complete merging for complete view managers."""
+
+    requires_level = "complete"
+    guarantees_level = "complete"
+
+    def __init__(
+        self,
+        views: tuple[str, ...],
+        name: str = "spa",
+        strict: bool = True,
+    ) -> None:
+        super().__init__(views, name)
+        self.vut = ViewUpdateTable(self.views)
+        self.strict = strict
+        self._wt: dict[int, list[ActionList]] = defaultdict(list)
+        self._emitted: list[ReadyUnit]
+
+    # -- event hooks ---------------------------------------------------------
+    def _on_rel(self, update_id: int, views: frozenset[str]) -> list[ReadyUnit]:
+        self.vut.allocate_row(update_id, views)
+        self._emitted = []
+        # A row relevant to no view in this merge's scope is trivially
+        # appliable (and in the single-merge case represents an update
+        # relevant to no view at all): emit nothing, purge immediately.
+        self._process_row(update_id)
+        return self._emitted
+
+    def _on_action_list(self, action_list: ActionList) -> list[ReadyUnit]:
+        if self.strict and len(action_list.covered) != 1:
+            raise MergeError(
+                f"SPA requires complete view managers (one update per action "
+                f"list) but received {action_list}; use the Painting "
+                f"Algorithm for strongly consistent managers (Example 4)"
+            )
+        self._emitted = []
+        for row in action_list.covered:
+            if self.vut.color(row, action_list.view) is not Color.WHITE:
+                raise MergeError(
+                    f"{action_list}: VUT[{row}, {action_list.view}] is "
+                    f"{self.vut.color(row, action_list.view)}, expected white"
+                )
+            self.vut.set_color(row, action_list.view, Color.RED)
+        self._wt[action_list.last_update].append(action_list)
+        self._process_row(action_list.covered[0])
+        return self._emitted
+
+    # -- Procedure ProcessRow(i), Algorithm 1 ------------------------------------
+    def _process_row(self, row: int) -> None:
+        if row not in self.vut:
+            return  # already applied and purged by an earlier recursion
+        # Line 1: some action in this row has not yet arrived.
+        if self.vut.has_color(row, Color.WHITE):
+            return
+        # Line 2: lists from the same view manager must be applied in the
+        # order generated — an earlier red entry in any red column blocks.
+        for view in self.vut.views_with_color(row, Color.RED):
+            if self.vut.earlier_red_rows(row, view):
+                return
+        # Line 3: mark this row's lists as being applied.
+        reds = self.vut.views_with_color(row, Color.RED)
+        for view in reds:
+            self.vut.set_color(row, view, Color.GRAY)
+        # Line 4: apply all actions in WT_i as a single warehouse transaction.
+        lists = tuple(sorted(self._wt.pop(row, ()), key=lambda al: al.view))
+        if lists:
+            self._emitted.append(ReadyUnit((row,), lists))
+        # Line 5: applying this row may unblock the next red in each column.
+        followers = sorted(
+            {
+                self.vut.next_red(row, view)
+                for view in reds
+                if self.vut.next_red(row, view)
+            }
+        )
+        # Line 6: purge row i (before recursing keeps the table minimal and
+        # is safe — gray entries never gate a later row).
+        self.vut.purge(row)
+        for follower in followers:
+            self._process_row(follower)
+
+    # -- inspection ---------------------------------------------------------------
+    def idle(self) -> bool:
+        return len(self.vut) == 0 and not self.pending_action_lists

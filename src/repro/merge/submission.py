@@ -1,0 +1,242 @@
+"""Warehouse-transaction submission policies (§4.3).
+
+Once the painting algorithm declares a group of action lists ready, the
+merge process must get it committed at the warehouse *in order relative to
+dependent transactions* ("WT_j depends on WT_i if j > i and
+VS(WT_j) ∩ VS(WT_i) ≠ ∅").  The paper sketches several solutions; all are
+implemented:
+
+* :class:`SequentialPolicy` — "only submit one to the warehouse after the
+  previous transaction has committed."  Safe, minimal concurrency.
+* :class:`DependencySequencedPolicy` — "only sequence dependent
+  transactions instead of all transactions."  Independent transactions
+  overlap at the warehouse.
+* :class:`DbmsDependencyPolicy` — "submit transactions with dependency
+  information and let the warehouse DBMS handle the execution sequence."
+* :class:`BatchingPolicy` — "batch several WT_i s and submit them as one
+  batched warehouse transaction (BWT)" — at the cost of degrading
+  completeness to strong consistency (each BWT advances the warehouse by
+  more than one state).
+* :class:`EagerPolicy` — submit immediately with no ordering control.
+  Deliberately unsafe: with a multi-executor warehouse it reproduces the
+  §4.3 hazard where WT_3 commits before WT_1.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.errors import MergeError
+from repro.messages import WarehouseTransactionMsg
+from repro.warehouse.txn import WarehouseTransaction, batch as batch_txns
+
+SubmitFn = Callable[[WarehouseTransactionMsg], None]
+AllocateFn = Callable[[], int]
+
+
+class SubmissionPolicy:
+    """Decides when (and annotated how) ready transactions reach the warehouse."""
+
+    name = "policy"
+    #: True when the policy preserves one warehouse state per ready unit
+    preserves_completeness = True
+
+    def __init__(self) -> None:
+        self._submit: SubmitFn | None = None
+        self._allocate: AllocateFn | None = None
+        self.submitted = 0
+
+    def bind(self, submit: SubmitFn, allocate_id: AllocateFn) -> None:
+        """Wire the policy to its merge process."""
+        self._submit = submit
+        self._allocate = allocate_id
+
+    def _send(self, message: WarehouseTransactionMsg) -> None:
+        if self._submit is None:
+            raise MergeError(f"{type(self).__name__} was never bound")
+        self.submitted += 1
+        self._submit(message)
+
+    # -- policy API --------------------------------------------------------
+    def offer(self, txn: WarehouseTransaction) -> None:
+        """A new ready transaction, in submission order."""
+        raise NotImplementedError
+
+    def on_commit(self, txn_id: int) -> None:
+        """The warehouse confirmed commit of ``txn_id``."""
+
+    def flush(self) -> None:
+        """Force out anything held back (end of run; batching)."""
+
+    @property
+    def pending(self) -> int:
+        """Transactions held by the policy, not yet submitted."""
+        return 0
+
+
+class EagerPolicy(SubmissionPolicy):
+    """Submit immediately, attach nothing.  Unsafe by design (§4.3 hazard)."""
+
+    name = "eager"
+
+    def offer(self, txn: WarehouseTransaction) -> None:
+        self._send(WarehouseTransactionMsg(txn))
+
+
+class SequentialPolicy(SubmissionPolicy):
+    """One outstanding warehouse transaction at a time."""
+
+    name = "sequential"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._queue: deque[WarehouseTransaction] = deque()
+        self._outstanding: int | None = None
+
+    def offer(self, txn: WarehouseTransaction) -> None:
+        self._queue.append(txn)
+        self._pump()
+
+    def on_commit(self, txn_id: int) -> None:
+        if txn_id == self._outstanding:
+            self._outstanding = None
+        self._pump()
+
+    def _pump(self) -> None:
+        if self._outstanding is None and self._queue:
+            txn = self._queue.popleft()
+            self._outstanding = txn.txn_id
+            self._send(WarehouseTransactionMsg(txn))
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+
+class DependencySequencedPolicy(SubmissionPolicy):
+    """Delay a transaction only while a dependency is uncommitted."""
+
+    name = "dependency-sequenced"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._queue: list[WarehouseTransaction] = []
+        self._uncommitted: dict[int, frozenset[str]] = {}
+
+    def offer(self, txn: WarehouseTransaction) -> None:
+        self._queue.append(txn)
+        self._pump()
+
+    def on_commit(self, txn_id: int) -> None:
+        self._uncommitted.pop(txn_id, None)
+        self._pump()
+
+    def _blocked(self, txn: WarehouseTransaction, queued_before: list) -> bool:
+        views = txn.view_set
+        if any(views & vs for vs in self._uncommitted.values()):
+            return True
+        return any(views & earlier.view_set for earlier in queued_before)
+
+    def _pump(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            for index, txn in enumerate(self._queue):
+                if not self._blocked(txn, self._queue[:index]):
+                    del self._queue[index]
+                    self._uncommitted[txn.txn_id] = txn.view_set
+                    self._send(WarehouseTransactionMsg(txn))
+                    progressed = True
+                    break
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+
+class DbmsDependencyPolicy(SubmissionPolicy):
+    """Submit everything at once, annotated with commit dependencies."""
+
+    name = "dbms-dependency"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._uncommitted: dict[int, frozenset[str]] = {}
+
+    def offer(self, txn: WarehouseTransaction) -> None:
+        deps = tuple(
+            sorted(
+                txn_id
+                for txn_id, views in self._uncommitted.items()
+                if views & txn.view_set
+            )
+        )
+        self._uncommitted[txn.txn_id] = txn.view_set
+        self._send(WarehouseTransactionMsg(txn, sequenced_after=deps))
+
+    def on_commit(self, txn_id: int) -> None:
+        self._uncommitted.pop(txn_id, None)
+
+
+class BatchingPolicy(SubmissionPolicy):
+    """Combine every ``batch_size`` ready WTs into one BWT (§4.3).
+
+    The constituents keep their submission order inside the batch, so
+    dependencies between them dissolve; dependencies between *batches* are
+    handled by the ``inner`` policy (sequential by default).  Batching
+    trades completeness for strong consistency: each BWT advances the
+    warehouse state by more than one source state.
+    """
+
+    name = "batching"
+    preserves_completeness = False
+
+    def __init__(
+        self,
+        batch_size: int = 4,
+        inner: SubmissionPolicy | None = None,
+        merge_name: str = "merge",
+    ) -> None:
+        super().__init__()
+        if batch_size < 1:
+            raise MergeError(f"batch_size must be >= 1, got {batch_size}")
+        self.batch_size = batch_size
+        self.inner = inner if inner is not None else SequentialPolicy()
+        self.merge_name = merge_name
+        self._held: list[WarehouseTransaction] = []
+        self.batches_formed = 0
+
+    def bind(self, submit: SubmitFn, allocate_id: AllocateFn) -> None:
+        super().bind(submit, allocate_id)
+        self.inner.bind(self._count_and_submit, allocate_id)
+
+    def _count_and_submit(self, message: WarehouseTransactionMsg) -> None:
+        self.submitted += 1
+        assert self._submit is not None
+        self._submit(message)
+
+    def offer(self, txn: WarehouseTransaction) -> None:
+        self._held.append(txn)
+        if len(self._held) >= self.batch_size:
+            self._form_batch()
+
+    def _form_batch(self) -> None:
+        if not self._held:
+            return
+        assert self._allocate is not None
+        combined = batch_txns(self._allocate(), self.merge_name, self._held)
+        self._held = []
+        self.batches_formed += 1
+        self.inner.offer(combined)
+
+    def on_commit(self, txn_id: int) -> None:
+        self.inner.on_commit(txn_id)
+
+    def flush(self) -> None:
+        self._form_batch()
+        self.inner.flush()
+
+    @property
+    def pending(self) -> int:
+        return len(self._held) + self.inner.pending

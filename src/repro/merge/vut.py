@@ -1,0 +1,186 @@
+"""The ViewUpdateTable (VUT) of §4.1 / §5.1.
+
+``VUT[i, x]`` corresponds to update ``U_i`` and view ``V_x``.  Each entry
+carries a color:
+
+* **white** — waiting for the corresponding action list;
+* **red** — the action list has been received but is being held;
+* **gray** — the action list has just been applied;
+* **black** — the entry need not be examined (update irrelevant to view).
+
+For the Painting Algorithm each entry additionally carries a ``state``
+field: the row number of the last update batched into the action list
+that covers this entry (0 when not yet known).
+
+Rows are keyed by (globally numbered) update id and may be sparse — a
+distributed merge process only ever sees the rows relevant to its view
+group (§6.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.errors import MergeError
+
+
+class Color(enum.Enum):
+    WHITE = "w"
+    RED = "r"
+    GRAY = "g"
+    BLACK = "b"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(slots=True)
+class Entry:
+    """One VUT cell: a color plus PA's next-state pointer."""
+
+    color: Color = Color.BLACK
+    state: int = 0
+
+    def __str__(self) -> str:
+        return f"({self.color},{self.state})"
+
+
+class ViewUpdateTable:
+    """The merge process's bookkeeping table."""
+
+    def __init__(self, views: Sequence[str]) -> None:
+        if not views:
+            raise MergeError("a VUT needs at least one view column")
+        if len(set(views)) != len(views):
+            raise MergeError(f"duplicate view columns: {views}")
+        self._views = tuple(views)
+        self._rows: dict[int, dict[str, Entry]] = {}
+
+    # -- structure -----------------------------------------------------------
+    @property
+    def views(self) -> tuple[str, ...]:
+        return self._views
+
+    @property
+    def row_ids(self) -> tuple[int, ...]:
+        return tuple(sorted(self._rows))
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, row: object) -> bool:
+        return row in self._rows
+
+    def allocate_row(self, row: int, relevant_views: frozenset[str]) -> None:
+        """§4.2: new row ``row`` — white for views in ``REL``, black otherwise."""
+        if row in self._rows:
+            raise MergeError(f"row {row} already allocated")
+        unknown = relevant_views - set(self._views)
+        if unknown:
+            raise MergeError(f"REL names unknown views {sorted(unknown)}")
+        self._rows[row] = {
+            view: Entry(Color.WHITE if view in relevant_views else Color.BLACK)
+            for view in self._views
+        }
+
+    def _entry(self, row: int, view: str) -> Entry:
+        try:
+            return self._rows[row][view]
+        except KeyError:
+            raise MergeError(f"no VUT entry for row {row}, view {view!r}") from None
+
+    # -- cell access -----------------------------------------------------------
+    def color(self, row: int, view: str) -> Color:
+        return self._entry(row, view).color
+
+    def set_color(self, row: int, view: str, color: Color) -> None:
+        self._entry(row, view).color = color
+
+    def state(self, row: int, view: str) -> int:
+        return self._entry(row, view).state
+
+    def set_state(self, row: int, view: str, state: int) -> None:
+        self._entry(row, view).state = state
+
+    # -- queries used by the painting algorithms ---------------------------------
+    def views_with_color(self, row: int, color: Color) -> tuple[str, ...]:
+        if row not in self._rows:
+            raise MergeError(f"no VUT row {row}")
+        return tuple(v for v in self._views if self._rows[row][v].color is color)
+
+    def has_color(self, row: int, color: Color) -> bool:
+        return any(e.color is color for e in self._rows[row].values())
+
+    def rows_before(self, row: int) -> Iterator[int]:
+        """Existing row ids strictly smaller than ``row``, ascending."""
+        return iter(sorted(r for r in self._rows if r < row))
+
+    def rows_after(self, row: int) -> Iterator[int]:
+        return iter(sorted(r for r in self._rows if r > row))
+
+    def next_red(self, row: int, view: str) -> int:
+        """``nextRed(i, x)``: the next red entry below ``VUT[i, x]``, or 0."""
+        for later in self.rows_after(row):
+            if self._rows[later][view].color is Color.RED:
+                return later
+        return 0
+
+    def earlier_red_rows(self, row: int, view: str) -> tuple[int, ...]:
+        """Rows ``i' < row`` whose entry in column ``view`` is red."""
+        return tuple(
+            r for r in self.rows_before(row)
+            if self._rows[r][view].color is Color.RED
+        )
+
+    def white_rows_through(self, row: int, view: str) -> tuple[int, ...]:
+        """Rows ``i' <= row`` whose entry in column ``view`` is white (PA)."""
+        return tuple(
+            r
+            for r in sorted(self._rows)
+            if r <= row and self._rows[r][view].color is Color.WHITE
+        )
+
+    def purgeable(self, row: int) -> bool:
+        """A row may be purged when every entry is black or gray."""
+        return all(
+            e.color in (Color.BLACK, Color.GRAY) for e in self._rows[row].values()
+        )
+
+    def purge(self, row: int) -> None:
+        if row not in self._rows:
+            raise MergeError(f"cannot purge missing row {row}")
+        if not self.purgeable(row):
+            raise MergeError(f"row {row} still has white or red entries")
+        del self._rows[row]
+
+    def purge_completed(self) -> tuple[int, ...]:
+        """Purge every purgeable row; returns the purged ids."""
+        purged = tuple(r for r in sorted(self._rows) if self.purgeable(r))
+        for row in purged:
+            del self._rows[row]
+        return purged
+
+    # -- display (used by the paper-trace benchmarks) -----------------------------
+    def snapshot(self) -> dict[int, dict[str, str]]:
+        """A printable copy: row -> view -> "color" or "(color,state)"."""
+        return {
+            row: {view: str(entry) for view, entry in columns.items()}
+            for row, columns in sorted(self._rows.items())
+        }
+
+    def render(self, show_state: bool = False) -> str:
+        """Render the table like the paper's figures."""
+        header = "      " + " ".join(f"{v:>8}" for v in self._views)
+        lines = [header]
+        for row in sorted(self._rows):
+            cells = []
+            for view in self._views:
+                entry = self._rows[row][view]
+                text = (
+                    f"({entry.color},{entry.state})" if show_state else str(entry.color)
+                )
+                cells.append(f"{text:>8}")
+            lines.append(f"U{row:<5}" + " ".join(cells))
+        return "\n".join(lines)

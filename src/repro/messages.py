@@ -1,0 +1,138 @@
+"""Message types exchanged between the Figure-1 processes.
+
+Every inter-process payload in the system is one of these immutable
+dataclasses.  Keeping them in one module documents the whole protocol:
+
+========================  ===========================================
+message                   direction
+========================  ===========================================
+UpdateNotification        source / coordinator -> integrator
+RelMessage                integrator -> merge process(es)
+UpdateForView             integrator -> view manager
+SnapshotQuery/Response    view manager <-> base-data service
+ActionListMessage         view manager -> merge process
+WarehouseTransactionMsg   merge process -> warehouse
+CommitNotification        warehouse -> merge process
+========================  ===========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
+
+from repro.relational.rows import Row
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports (no cycles)
+    from repro.sources.transactions import SourceTransaction
+    from repro.sources.update import Update
+    from repro.viewmgr.actions import ActionList
+    from repro.warehouse.txn import WarehouseTransaction
+
+
+@dataclass(frozen=True, slots=True)
+class UpdateNotification:
+    """A committed source transaction reported to the integrator."""
+
+    transaction: SourceTransaction
+    commit_time: float
+
+
+@dataclass(frozen=True, slots=True)
+class NumberedUpdate:
+    """The integrator-numbered update stream fed to the base-data service."""
+
+    update_id: int
+    updates: tuple["Update", ...]
+
+
+@dataclass(frozen=True, slots=True)
+class RelMessage:
+    """``REL_i``: the set of views relevant to update ``update_id`` (§3.2)."""
+
+    update_id: int
+    views: frozenset[str]
+
+
+@dataclass(frozen=True, slots=True)
+class UpdateForView:
+    """A copy of update ``update_id`` routed to one view manager (§3.2).
+
+    ``updates`` carries the transaction's updates restricted to relations
+    the destination view reads (the integrator already knows the view's
+    base relations, so irrelevant updates inside a multi-update
+    transaction are not shipped).
+    """
+
+    update_id: int
+    view: str
+    updates: tuple[Update, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class SnapshotQuery:
+    """A view manager asks the base-data service for base relations.
+
+    ``version=None`` requests the current state (autonomous-source mode,
+    answered together with the undo information needed to compensate);
+    an integer requests that exact multiversion snapshot.
+    """
+
+    query_id: int
+    requester: str
+    relations: frozenset[str]
+    version: int | None = None
+    undo_from: int | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class SnapshotResponse:
+    """Answer to a :class:`SnapshotQuery`.
+
+    ``contents`` maps relation name to a ``{Row: count}`` bag at
+    ``version``.  In autonomous-source mode ``undo_updates`` lists the
+    integrator-numbered updates in ``(undo_from, version]`` touching the
+    requested relations, so the requester can roll the state back.
+    """
+
+    query_id: int
+    version: int
+    contents: Mapping[str, Mapping[Row, int]]
+    undo_updates: tuple[tuple[int, Update], ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class ActionListMessage:
+    """``AL^x_j`` sent by view manager x to the merge process (§3.3)."""
+
+    action_list: "ActionList"
+
+
+@dataclass(frozen=True, slots=True)
+class WarehouseTransactionMsg:
+    """A warehouse transaction submitted by a merge process (§4.3)."""
+
+    txn: "WarehouseTransaction"
+    sequenced_after: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class CommitNotification:
+    """The warehouse confirms that transaction ``txn_id`` committed."""
+
+    txn_id: int
+    commit_time: float
+    merge_name: str = ""
+
+
+__all__ = [
+    "UpdateNotification",
+    "NumberedUpdate",
+    "RelMessage",
+    "UpdateForView",
+    "SnapshotQuery",
+    "SnapshotResponse",
+    "ActionListMessage",
+    "WarehouseTransactionMsg",
+    "CommitNotification",
+]

@@ -1,0 +1,72 @@
+"""View catalogs: loading and saving sets of view definitions.
+
+A catalog is a plain-text file, one definition per line, with ``#``
+comments and blank lines ignored::
+
+    # customer-inquiry warehouse
+    Portfolio = SELECT * FROM Checking JOIN Savings
+    BranchBook = SELECT branch, cust, cbal FROM Checking
+
+``load_views`` parses a catalog (text or path); ``dump_views`` renders
+definitions back through :func:`repro.relational.render.to_sql`, so a
+catalog round-trips loss-free for canonical-shape views.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from repro.errors import ParseError
+from repro.relational.expressions import ViewDefinition
+from repro.relational.parser import parse_view
+from repro.relational.render import to_sql
+
+
+def parse_catalog(text: str) -> list[ViewDefinition]:
+    """Parse a catalog from a string; duplicate names are rejected."""
+    definitions: list[ViewDefinition] = []
+    seen: set[str] = set()
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        try:
+            definition = parse_view(line)
+        except ParseError as exc:
+            raise ParseError(f"catalog line {lineno}: {exc}") from exc
+        if definition.name in seen:
+            raise ParseError(
+                f"catalog line {lineno}: duplicate view {definition.name!r}"
+            )
+        seen.add(definition.name)
+        definitions.append(definition)
+    if not definitions:
+        raise ParseError("catalog contains no view definitions")
+    return definitions
+
+
+def load_views(path: str | Path) -> list[ViewDefinition]:
+    """Load a catalog file."""
+    return parse_catalog(Path(path).read_text(encoding="utf-8"))
+
+
+def dump_views(
+    definitions: Sequence[ViewDefinition],
+    header: str | None = None,
+) -> str:
+    """Render definitions as catalog text."""
+    lines: list[str] = []
+    if header:
+        lines.extend(f"# {line}" for line in header.splitlines())
+    lines.extend(to_sql(d) for d in definitions)
+    return "\n".join(lines) + "\n"
+
+
+def save_views(
+    definitions: Sequence[ViewDefinition],
+    path: str | Path,
+    header: str | None = None,
+) -> None:
+    """Write a catalog file."""
+    Path(path).write_text(dump_views(definitions, header), encoding="utf-8")

@@ -1,0 +1,291 @@
+"""Relational expressions: the select-project-join view algebra.
+
+Expressions form an immutable AST over named base relations.  A
+:class:`ViewDefinition` names an expression — that pair is what the
+integrator, view managers and consistency checkers all share.
+
+The engine supports:
+
+* ``BaseRelation(name)`` — a leaf referring to a source relation.
+* ``Select(predicate, child)`` — bag selection.
+* ``Project(names, child)`` — bag projection (duplicates preserved).
+* ``Join(left, right, on=None)`` — natural join on shared attribute names
+  (``on=None``) or an explicit equi-join attribute list.
+
+Schema inference walks the AST given the base-relation schemas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import ExpressionError
+from repro.relational.predicates import Predicate
+from repro.relational.schema import Schema
+
+
+class Expression:
+    """Base class for relational expressions."""
+
+    __slots__ = ()
+
+    def base_relations(self) -> frozenset[str]:
+        """Names of every base relation the expression reads."""
+        raise NotImplementedError
+
+    def infer_schema(self, base_schemas: Mapping[str, Schema]) -> Schema:
+        """Compute the output schema given the base relations' schemas."""
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class BaseRelation(Expression):
+    """A reference to a named base relation at some source."""
+
+    name: str
+
+    def base_relations(self) -> frozenset[str]:
+        return frozenset((self.name,))
+
+    def infer_schema(self, base_schemas: Mapping[str, Schema]) -> Schema:
+        try:
+            return base_schemas[self.name]
+        except KeyError:
+            raise ExpressionError(f"unknown base relation {self.name!r}") from None
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Select(Expression):
+    """Bag selection ``sigma_predicate(child)``."""
+
+    predicate: Predicate
+    child: Expression
+
+    def base_relations(self) -> frozenset[str]:
+        return self.child.base_relations()
+
+    def infer_schema(self, base_schemas: Mapping[str, Schema]) -> Schema:
+        schema = self.child.infer_schema(base_schemas)
+        unknown = self.predicate.attributes() - set(schema.names)
+        if unknown:
+            raise ExpressionError(
+                f"selection predicate mentions {sorted(unknown)} "
+                f"not produced by {self.child}"
+            )
+        return schema
+
+    def __str__(self) -> str:
+        return f"select[{self.predicate}]({self.child})"
+
+
+@dataclass(frozen=True, slots=True)
+class Project(Expression):
+    """Bag projection onto ``names`` (duplicates preserved)."""
+
+    names: tuple[str, ...]
+    child: Expression
+
+    def __post_init__(self) -> None:
+        if not self.names:
+            raise ExpressionError("projection needs at least one attribute")
+        if len(set(self.names)) != len(self.names):
+            raise ExpressionError(f"duplicate projection attributes: {self.names}")
+
+    def base_relations(self) -> frozenset[str]:
+        return self.child.base_relations()
+
+    def infer_schema(self, base_schemas: Mapping[str, Schema]) -> Schema:
+        schema = self.child.infer_schema(base_schemas)
+        missing = [n for n in self.names if n not in schema]
+        if missing:
+            raise ExpressionError(
+                f"projection attributes {missing} not produced by {self.child}"
+            )
+        return schema.project(self.names)
+
+    def __str__(self) -> str:
+        return f"project[{', '.join(self.names)}]({self.child})"
+
+
+@dataclass(frozen=True, slots=True)
+class Join(Expression):
+    """Equi-join of two sub-expressions.
+
+    With ``on=None`` this is a natural join over all shared attribute
+    names (the paper's ``R ./ S``); with an explicit tuple it joins on
+    exactly those attributes.  If the operands share no attributes the
+    join degenerates to a cross product.
+    """
+
+    left: Expression
+    right: Expression
+    on: tuple[str, ...] | None = field(default=None)
+
+    def base_relations(self) -> frozenset[str]:
+        return self.left.base_relations() | self.right.base_relations()
+
+    def join_attributes(self, base_schemas: Mapping[str, Schema]) -> tuple[str, ...]:
+        """The attribute names the join matches on."""
+        left = self.left.infer_schema(base_schemas)
+        right = self.right.infer_schema(base_schemas)
+        if self.on is None:
+            return left.common_names(right)
+        for name in self.on:
+            if name not in left or name not in right:
+                raise ExpressionError(
+                    f"join attribute {name!r} missing from an operand of {self}"
+                )
+        return self.on
+
+    def infer_schema(self, base_schemas: Mapping[str, Schema]) -> Schema:
+        left = self.left.infer_schema(base_schemas)
+        right = self.right.infer_schema(base_schemas)
+        if self.on is not None:
+            # Explicit join attributes must exist on both sides; any other
+            # shared names would be ambiguous in the output.
+            self.join_attributes(base_schemas)
+            ambiguous = set(left.common_names(right)) - set(self.on)
+            if ambiguous:
+                raise ExpressionError(
+                    f"attributes {sorted(ambiguous)} appear on both sides of "
+                    f"{self} but are not join attributes"
+                )
+        return left.natural_join(right)
+
+    def __str__(self) -> str:
+        on = "" if self.on is None else f"[{', '.join(self.on)}]"
+        return f"({self.left} join{on} {self.right})"
+
+
+_AGG_FUNCTIONS = ("count", "sum")
+
+
+@dataclass(frozen=True, slots=True)
+class AggregateSpec:
+    """One aggregate output column: ``fn(attr) AS alias``.
+
+    ``count`` ignores ``attr`` (row count, multiplicities included);
+    ``sum`` requires a numeric attribute.
+    """
+
+    fn: str
+    alias: str
+    attr: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.fn not in _AGG_FUNCTIONS:
+            raise ExpressionError(
+                f"unknown aggregate function {self.fn!r}; "
+                f"supported: {_AGG_FUNCTIONS}"
+            )
+        if not self.alias.isidentifier():
+            raise ExpressionError(f"bad aggregate alias {self.alias!r}")
+        if self.fn == "sum" and self.attr is None:
+            raise ExpressionError("sum() needs an attribute")
+        if self.fn == "count" and self.attr is not None:
+            raise ExpressionError("count() takes no attribute (use count(*))")
+
+    def __str__(self) -> str:
+        inner = "*" if self.attr is None else self.attr
+        return f"{self.fn}({inner}) AS {self.alias}"
+
+
+@dataclass(frozen=True, slots=True)
+class Aggregate(Expression):
+    """Group-by aggregation with self-maintainable aggregates.
+
+    Output schema: the ``group_by`` attributes followed by one column per
+    :class:`AggregateSpec`.  Groups with no rows are absent (including the
+    group of a group-by-less aggregate over an empty input) — that keeps
+    incremental maintenance uniform: groups appear and disappear via
+    ordinary insertions/deletions.
+
+    Only *self-maintainable* aggregates (count, sum) are offered: they can
+    be maintained under both insertions and deletions from the delta plus
+    the old aggregate value alone.  MIN/MAX are deliberately absent —
+    maintaining them under deletions needs auxiliary state, which is the
+    paper's [12]/[8] auxiliary-view territory.
+    """
+
+    group_by: tuple[str, ...]
+    aggregates: tuple[AggregateSpec, ...]
+    child: Expression
+
+    def __post_init__(self) -> None:
+        if not self.aggregates:
+            raise ExpressionError("an Aggregate needs at least one aggregate")
+        names = list(self.group_by) + [a.alias for a in self.aggregates]
+        if len(set(names)) != len(names):
+            raise ExpressionError(f"duplicate output columns: {names}")
+
+    def base_relations(self) -> frozenset[str]:
+        return self.child.base_relations()
+
+    def infer_schema(self, base_schemas: Mapping[str, Schema]) -> Schema:
+        from repro.relational.schema import Attribute, AttrType
+
+        child = self.child.infer_schema(base_schemas)
+        missing = [n for n in self.group_by if n not in child]
+        if missing:
+            raise ExpressionError(
+                f"group-by attributes {missing} not produced by {self.child}"
+            )
+        columns = [child[name] for name in self.group_by]
+        for spec in self.aggregates:
+            if spec.fn == "count":
+                columns.append(Attribute(spec.alias, AttrType.INT))
+            else:
+                assert spec.attr is not None
+                if spec.attr not in child:
+                    raise ExpressionError(
+                        f"sum attribute {spec.attr!r} not produced by "
+                        f"{self.child}"
+                    )
+                attr_type = child[spec.attr].type
+                if attr_type not in (AttrType.INT, AttrType.FLOAT):
+                    raise ExpressionError(
+                        f"sum({spec.attr}) needs a numeric attribute, "
+                        f"got {attr_type.value}"
+                    )
+                columns.append(Attribute(spec.alias, attr_type))
+        return Schema(columns)
+
+    def __str__(self) -> str:
+        aggs = ", ".join(str(a) for a in self.aggregates)
+        by = ", ".join(self.group_by) or "()"
+        return f"aggregate[{by}; {aggs}]({self.child})"
+
+
+def join_all(*exprs: Expression) -> Expression:
+    """Left-deep natural join of several expressions (``R ./ S ./ T``)."""
+    if not exprs:
+        raise ExpressionError("join_all needs at least one expression")
+    result = exprs[0]
+    for expr in exprs[1:]:
+        result = Join(result, expr)
+    return result
+
+
+@dataclass(frozen=True, slots=True)
+class ViewDefinition:
+    """A named materialized-view definition: ``name = expression``."""
+
+    name: str
+    expression: Expression
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise ExpressionError(f"view name {self.name!r} is not an identifier")
+
+    def base_relations(self) -> frozenset[str]:
+        return self.expression.base_relations()
+
+    def __str__(self) -> str:
+        return f"{self.name} = {self.expression}"

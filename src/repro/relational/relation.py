@@ -1,0 +1,170 @@
+"""Multiset relations.
+
+A :class:`Relation` is a bag of :class:`~repro.relational.rows.Row` objects
+with positive multiplicities, optionally validated against a
+:class:`~repro.relational.schema.Schema`.  Bag semantics (rather than set
+semantics) are what make counting-based incremental view maintenance
+correct under projection and join.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import RelationError, SchemaError
+from repro.relational.rows import Row
+from repro.relational.schema import Schema
+
+
+class Relation:
+    """A multiset of rows.
+
+    Supports insert/delete with multiplicities, iteration (each row
+    repeated by its count), equality as bags, and cheap copying.
+    """
+
+    __slots__ = ("_schema", "_counts", "_size")
+
+    def __init__(
+        self,
+        schema: Schema | None = None,
+        rows: Iterable[Row | Mapping[str, object]] = (),
+    ) -> None:
+        self._schema = schema
+        self._counts: dict[Row, int] = {}
+        self._size = 0
+        for row in rows:
+            self.insert(row)
+
+    # -- construction helpers --------------------------------------------
+    @classmethod
+    def from_counts(
+        cls, counts: Mapping[Row, int], schema: Schema | None = None
+    ) -> "Relation":
+        """Build a relation directly from a row→count mapping."""
+        rel = cls(schema)
+        for row, count in counts.items():
+            if count < 0:
+                raise RelationError(f"negative multiplicity {count} for {row}")
+            if count:
+                rel._check(row)
+                rel._counts[row] = count
+                rel._size += count
+        return rel
+
+    def copy(self) -> "Relation":
+        """Return an independent copy (rows are immutable and shared)."""
+        dup = Relation(self._schema)
+        dup._counts = dict(self._counts)
+        dup._size = self._size
+        return dup
+
+    # -- basic properties --------------------------------------------------
+    @property
+    def schema(self) -> Schema | None:
+        return self._schema
+
+    def __len__(self) -> int:
+        """Total number of rows, counting multiplicity."""
+        return self._size
+
+    def distinct_count(self) -> int:
+        """Number of distinct rows."""
+        return len(self._counts)
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __iter__(self) -> Iterator[Row]:
+        for row, count in self._counts.items():
+            for _ in range(count):
+                yield row
+
+    def counts(self) -> Iterator[tuple[Row, int]]:
+        """Iterate (row, multiplicity) pairs."""
+        return iter(self._counts.items())
+
+    def multiplicity(self, row: Row) -> int:
+        return self._counts.get(row, 0)
+
+    def __contains__(self, row: object) -> bool:
+        return row in self._counts
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self._counts == other._counts
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._counts.items()))
+
+    def __repr__(self) -> str:
+        preview = ", ".join(repr(r) for r in sorted(self._counts)[:4])
+        if self.distinct_count() > 4:
+            preview += ", ..."
+        return f"Relation(|{self._size}| {preview})"
+
+    def sorted_rows(self) -> list[Row]:
+        """All rows (with multiplicity) in a deterministic order."""
+        result: list[Row] = []
+        for row in sorted(self._counts):
+            result.extend([row] * self._counts[row])
+        return result
+
+    # -- mutation ----------------------------------------------------------
+    def _check(self, row: Row) -> None:
+        if self._schema is not None:
+            self._schema.validate(dict(row))
+
+    def _coerce(self, row: Row | Mapping[str, object]) -> Row:
+        return row if isinstance(row, Row) else Row(row)
+
+    def insert(self, row: Row | Mapping[str, object], count: int = 1) -> None:
+        """Insert ``count`` copies of ``row``."""
+        if count <= 0:
+            raise RelationError(f"insert count must be positive, got {count}")
+        row = self._coerce(row)
+        self._check(row)
+        self._counts[row] = self._counts.get(row, 0) + count
+        self._size += count
+
+    def delete(self, row: Row | Mapping[str, object], count: int = 1) -> None:
+        """Delete ``count`` copies of ``row``; the row must be present."""
+        if count <= 0:
+            raise RelationError(f"delete count must be positive, got {count}")
+        row = self._coerce(row)
+        present = self._counts.get(row, 0)
+        if present < count:
+            raise RelationError(
+                f"cannot delete {count} copies of {row}: only {present} present"
+            )
+        if present == count:
+            del self._counts[row]
+        else:
+            self._counts[row] = present - count
+        self._size -= count
+
+    def modify(
+        self,
+        old: Row | Mapping[str, object],
+        new: Row | Mapping[str, object],
+    ) -> None:
+        """Replace one copy of ``old`` with ``new`` atomically."""
+        old = self._coerce(old)
+        new = self._coerce(new)
+        self.delete(old)
+        try:
+            self.insert(new)
+        except SchemaError:
+            self.insert(old)  # roll back so the relation stays valid
+            raise
+
+    def clear(self) -> None:
+        self._counts.clear()
+        self._size = 0
+
+    def replace_all(self, rows: Iterable[Row]) -> None:
+        """Replace the entire contents (periodic-refresh semantics)."""
+        self.clear()
+        for row in rows:
+            self.insert(row)

@@ -1,0 +1,129 @@
+"""Rendering expressions back to the view-definition language.
+
+``to_sql`` inverts :func:`repro.relational.parser.parse_view` for
+expressions in the parser's canonical shape —
+``Project?(Select?(join tree of base relations))`` — so definitions can be
+round-tripped, logged, and stored in catalogs.  Non-canonical trees (e.g.
+a selection *under* a join) raise :class:`ExpressionError`; normalise them
+first if needed.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExpressionError
+from repro.relational.expressions import (
+    Aggregate,
+    BaseRelation,
+    Expression,
+    Join,
+    Project,
+    Select,
+    ViewDefinition,
+)
+from repro.relational.predicates import (
+    And,
+    Attr,
+    Comparison,
+    Const,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+
+
+def render_operand(operand: object) -> str:
+    if isinstance(operand, Attr):
+        return operand.name
+    if isinstance(operand, Const):
+        literal = operand.literal
+        if isinstance(literal, bool):
+            return "true" if literal else "false"
+        if isinstance(literal, str):
+            escaped = literal.replace("\\", "\\\\").replace("'", "\\'")
+            return f"'{escaped}'"
+        return repr(literal)
+    raise ExpressionError(f"cannot render operand {operand!r}")
+
+
+def render_predicate(predicate: Predicate) -> str:
+    """Render a predicate in the parser's WHERE syntax."""
+    if isinstance(predicate, TruePredicate):
+        return "true = true"  # the grammar has no literal TRUE predicate
+    if isinstance(predicate, Comparison):
+        return (
+            f"{render_operand(predicate.lhs)} {predicate.op} "
+            f"{render_operand(predicate.rhs)}"
+        )
+    if isinstance(predicate, And):
+        return (
+            f"({render_predicate(predicate.left)} AND "
+            f"{render_predicate(predicate.right)})"
+        )
+    if isinstance(predicate, Or):
+        return (
+            f"({render_predicate(predicate.left)} OR "
+            f"{render_predicate(predicate.right)})"
+        )
+    if isinstance(predicate, Not):
+        return f"NOT ({render_predicate(predicate.child)})"
+    raise ExpressionError(f"cannot render predicate {predicate!r}")
+
+
+def _render_source(expr: Expression) -> str:
+    """Render a left-deep join tree of base relations."""
+    if isinstance(expr, BaseRelation):
+        return expr.name
+    if isinstance(expr, Join):
+        if not isinstance(expr.right, BaseRelation):
+            raise ExpressionError(
+                "only left-deep join trees are renderable; normalise "
+                f"{expr} first"
+            )
+        left = _render_source(expr.left)
+        if expr.on is None:
+            return f"{left} JOIN {expr.right.name}"
+        on = ", ".join(expr.on)
+        return f"{left} JOIN {expr.right.name} ON ({on})"
+    raise ExpressionError(
+        f"{type(expr).__name__} cannot appear below a join in the "
+        f"canonical SELECT shape"
+    )
+
+
+def to_sql(expr: Expression | ViewDefinition) -> str:
+    """Render an expression (or definition) as ``[name =] SELECT ...``."""
+    if isinstance(expr, ViewDefinition):
+        return f"{expr.name} = {to_sql(expr.expression)}"
+    columns = "*"
+    body = expr
+    if isinstance(body, Project):
+        columns = ", ".join(body.names)
+        body = body.child
+    having = ""
+    if isinstance(body, Select) and isinstance(body.child, Aggregate):
+        having = f" HAVING {render_predicate(body.predicate)}"
+        body = body.child
+    group = ""
+    if isinstance(body, Aggregate):
+        parts = list(body.group_by)
+        for spec in body.aggregates:
+            inner = "*" if spec.attr is None else spec.attr
+            parts.append(f"{spec.fn}({inner}) AS {spec.alias}")
+        agg_columns = ", ".join(parts)
+        if columns == "*":
+            columns = agg_columns
+        elif columns != agg_columns:
+            raise ExpressionError(
+                "cannot render a projection that reorders aggregate output; "
+                "drop the Project or match the canonical column order"
+            )
+        if body.group_by:
+            group = f" GROUP BY {', '.join(body.group_by)}"
+        body = body.child
+    where = ""
+    if isinstance(body, Select):
+        where = f" WHERE {render_predicate(body.predicate)}"
+        body = body.child
+    source = _render_source(body)
+    return f"SELECT {columns} FROM {source}{where}{group}{having}"

@@ -1,0 +1,117 @@
+"""Immutable rows (tuples with named attributes).
+
+A :class:`Row` is an immutable, hashable mapping from attribute name to
+value.  Rows are the unit stored in relations and carried by updates,
+deltas and action lists; immutability is what makes it safe to share them
+freely between simulated processes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import SchemaError
+
+
+class Row(Mapping[str, object]):
+    """An immutable named tuple of attribute values.
+
+    Construction accepts either a mapping or keyword arguments::
+
+        Row({"a": 1, "b": 2})
+        Row(a=1, b=2)
+
+    Attribute order is normalised (sorted by name) so two rows with the
+    same name/value pairs are equal and hash alike regardless of how they
+    were built.
+    """
+
+    __slots__ = ("_items", "_dict", "_hash")
+
+    def __init__(self, values: Mapping[str, object] | None = None, **kwargs: object):
+        merged: dict[str, object] = dict(values) if values else {}
+        for key, val in kwargs.items():
+            if key in merged:
+                raise SchemaError(f"attribute {key!r} given twice")
+            merged[key] = val
+        if not merged:
+            raise SchemaError("a row must have at least one attribute")
+        items = tuple(sorted(merged.items()))
+        object.__setattr__(self, "_items", items)
+        object.__setattr__(self, "_dict", dict(items))
+        object.__setattr__(self, "_hash", hash(items))
+
+    # -- Mapping protocol ------------------------------------------------
+    def __getitem__(self, name: str) -> object:
+        try:
+            return self._dict[name]
+        except KeyError:
+            raise SchemaError(f"row has no attribute {name!r}") from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._dict)
+
+    def __len__(self) -> int:
+        return len(self._dict)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._dict
+
+    # -- identity --------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Row):
+            return NotImplemented
+        return self._items == other._items
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __lt__(self, other: "Row") -> bool:
+        """Total order on rows with comparable values — used for stable output."""
+        return self._sort_key() < other._sort_key()
+
+    def _sort_key(self) -> tuple:
+        return tuple((k, type(v).__name__, v) for k, v in self._items)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in self._items)
+        return f"Row({inner})"
+
+    # -- derivation ------------------------------------------------------
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._dict)
+
+    def project(self, names: Iterable[str]) -> "Row":
+        """Return a new row containing only ``names``."""
+        return Row({n: self[n] for n in names})
+
+    def merge(self, other: "Row") -> "Row":
+        """Combine two rows; shared attributes must agree.
+
+        This is the tuple-concatenation step of a natural join.  Raises
+        :class:`SchemaError` if a shared attribute has conflicting values —
+        callers are expected to have checked joinability first.
+        """
+        merged = dict(self._dict)
+        for name, value in other.items():
+            if name in merged and merged[name] != value:
+                raise SchemaError(
+                    f"cannot merge rows: attribute {name!r} conflicts "
+                    f"({merged[name]!r} vs {value!r})"
+                )
+            merged[name] = value
+        return Row(merged)
+
+    def joins_with(self, other: "Row", on: Iterable[str]) -> bool:
+        """True if both rows agree on every attribute in ``on``."""
+        return all(self[name] == other[name] for name in on)
+
+    def replace(self, **changes: object) -> "Row":
+        """Return a copy with some attribute values replaced."""
+        updated = dict(self._dict)
+        for name, value in changes.items():
+            if name not in updated:
+                raise SchemaError(f"row has no attribute {name!r}")
+            updated[name] = value
+        return Row(updated)

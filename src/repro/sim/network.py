@@ -1,0 +1,129 @@
+"""FIFO message channels with pluggable latency models.
+
+The paper's only ordering assumption is that "messages from the same
+process must arrive in the order sent" (§4).  :class:`Channel` enforces
+exactly that: each channel is a point-to-point FIFO pipe whose delivery
+times are drawn from a latency model but clamped to be non-decreasing, so
+reordering can happen *between* channels but never *within* one.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.kernel import Simulator
+    from repro.sim.process import Process
+
+
+class LatencyModel:
+    """Base class: produce a per-message delay."""
+
+    def sample(self, rng: random.Random) -> float:
+        raise NotImplementedError
+
+
+class FixedLatency(LatencyModel):
+    """Every message takes exactly ``delay``."""
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise SimulationError(f"latency must be non-negative, got {delay}")
+        self.delay = delay
+
+    def sample(self, rng: random.Random) -> float:
+        return self.delay
+
+    def __repr__(self) -> str:
+        return f"FixedLatency({self.delay})"
+
+
+class UniformLatency(LatencyModel):
+    """Delay drawn uniformly from [low, high]."""
+
+    def __init__(self, low: float, high: float) -> None:
+        if not 0 <= low <= high:
+            raise SimulationError(f"bad uniform latency range [{low}, {high}]")
+        self.low = low
+        self.high = high
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def __repr__(self) -> str:
+        return f"UniformLatency({self.low}, {self.high})"
+
+
+class ExponentialLatency(LatencyModel):
+    """Exponentially distributed delay with the given mean."""
+
+    def __init__(self, mean: float) -> None:
+        if mean <= 0:
+            raise SimulationError(f"mean latency must be positive, got {mean}")
+        self.mean = mean
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.expovariate(1.0 / self.mean)
+
+    def __repr__(self) -> str:
+        return f"ExponentialLatency({self.mean})"
+
+
+class Channel:
+    """A point-to-point FIFO channel between two processes."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        source: "Process",
+        destination: "Process",
+        latency: LatencyModel | float = 0.0,
+    ) -> None:
+        if isinstance(latency, (int, float)):
+            latency = FixedLatency(float(latency))
+        self._sim = sim
+        self.source = source
+        self.destination = destination
+        self.latency = latency
+        self._last_delivery = 0.0
+        self.messages_sent = 0
+
+    def send(self, message: object) -> float:
+        """Queue ``message`` for delivery; returns the delivery time.
+
+        Delivery time is ``now + latency`` but never earlier than the
+        previous delivery on this channel (FIFO clamp).
+        """
+        now = self._sim.now
+        delay = self.latency.sample(self._sim.rng)
+        deliver_at = max(now + delay, self._last_delivery)
+        self._last_delivery = deliver_at
+        self.messages_sent += 1
+        self._sim.trace.record(
+            now,
+            "msg_send",
+            self.source.name,
+            to=self.destination.name,
+            message=type(message).__name__,
+        )
+        self._sim.schedule_at(deliver_at, self._deliver, message)
+        return deliver_at
+
+    def _deliver(self, message: object) -> None:
+        self._sim.trace.record(
+            self._sim.now,
+            "msg_recv",
+            self.destination.name,
+            sender=self.source.name,
+            message=type(message).__name__,
+        )
+        self.destination.deliver(message, self.source)
+
+    def __repr__(self) -> str:
+        return (
+            f"Channel({self.source.name} -> {self.destination.name}, "
+            f"{self.latency!r})"
+        )

@@ -1,0 +1,142 @@
+"""Simulated processes: single-threaded servers with mailboxes.
+
+A :class:`Process` models one box of Figure 1.  Messages delivered by
+channels queue in the mailbox; the process serves them one at a time,
+spending ``service_time(message)`` of virtual time on each.  That serial
+service discipline is what creates the bottleneck phenomena the paper's
+Section 7 wants to study (a merge process saturates when work arrives
+faster than it can serve it), and the per-process utilisation and queue
+statistics recorded here are what the benchmarks report.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.errors import SimulationError
+from repro.sim.network import Channel, LatencyModel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.kernel import Simulator
+
+
+class Process:
+    """Base class for all simulated components.
+
+    Subclasses implement :meth:`handle`; they may override
+    :meth:`service_time` to model per-message processing cost (default 0,
+    i.e. infinitely fast).  Outgoing channels are registered with
+    :meth:`connect` and used via :meth:`send`.
+    """
+
+    def __init__(self, sim: "Simulator", name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self._inbox: deque[tuple[object, "Process"]] = deque()
+        self._busy = False
+        self._outgoing: dict[str, Channel] = {}
+        # statistics
+        self.messages_handled = 0
+        self.busy_time = 0.0
+        self.max_queue_length = 0
+        self._queue_area = 0.0  # integral of queue length over time
+        self._last_stat_time = 0.0
+
+    # -- wiring ------------------------------------------------------------
+    def connect(
+        self, destination: "Process", latency: LatencyModel | float = 0.0
+    ) -> Channel:
+        """Create (or replace) the outgoing channel to ``destination``."""
+        channel = Channel(self.sim, self, destination, latency)
+        self._outgoing[destination.name] = channel
+        return channel
+
+    def channel_to(self, name: str) -> Channel:
+        try:
+            return self._outgoing[name]
+        except KeyError:
+            raise SimulationError(
+                f"{self.name} has no channel to {name!r} "
+                f"(connected to: {sorted(self._outgoing)})"
+            ) from None
+
+    def peers(self) -> tuple[str, ...]:
+        return tuple(sorted(self._outgoing))
+
+    def send(self, destination: "Process | str", message: object) -> float:
+        """Send ``message`` over the pre-connected channel; returns delivery time."""
+        name = destination if isinstance(destination, str) else destination.name
+        return self.channel_to(name).send(message)
+
+    # -- mailbox / service loop ------------------------------------------------
+    def deliver(self, message: object, sender: "Process") -> None:
+        """Called by channels when a message arrives."""
+        self._account_queue()
+        self._inbox.append((message, sender))
+        self.max_queue_length = max(self.max_queue_length, len(self._inbox))
+        if not self._busy:
+            self._start_next()
+
+    def _account_queue(self) -> None:
+        now = self.sim.now
+        self._queue_area += len(self._inbox) * (now - self._last_stat_time)
+        self._last_stat_time = now
+
+    def _start_next(self) -> None:
+        if not self._inbox:
+            return
+        self._busy = True
+        message, sender = self._inbox[0]
+        service = self.service_time(message)
+        if service < 0:
+            raise SimulationError(
+                f"{self.name}.service_time returned negative {service}"
+            )
+        self.sim.schedule(service, self._finish, message, sender, service)
+
+    def _finish(self, message: object, sender: "Process", service: float) -> None:
+        self._account_queue()
+        self._inbox.popleft()
+        self._busy = False
+        self.busy_time += service
+        self.messages_handled += 1
+        self.handle(message, sender)
+        # handle() may have sent messages but cannot have consumed the inbox.
+        if self._inbox and not self._busy:
+            self._start_next()
+
+    # -- behaviour (subclass API) -------------------------------------------
+    def service_time(self, message: object) -> float:
+        """Virtual time spent serving ``message`` (default: instantaneous)."""
+        return 0.0
+
+    def handle(self, message: object, sender: "Process") -> None:
+        """React to ``message``; subclasses must implement."""
+        raise NotImplementedError(f"{type(self).__name__} does not handle messages")
+
+    # -- statistics --------------------------------------------------------------
+    @property
+    def queue_length(self) -> int:
+        return len(self._inbox)
+
+    def utilisation(self, elapsed: float | None = None) -> float:
+        """Fraction of virtual time spent serving messages."""
+        total = elapsed if elapsed is not None else self.sim.now
+        if total <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / total)
+
+    def mean_queue_length(self) -> float:
+        """Time-averaged mailbox length so far."""
+        self._account_queue()
+        if self.sim.now <= 0:
+            return 0.0
+        return self._queue_area / self.sim.now
+
+    def trace(self, kind: str, **detail: object) -> None:
+        """Record a trace event attributed to this process."""
+        self.sim.trace.record(self.sim.now, kind, self.name, **detail)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"

@@ -1,0 +1,96 @@
+"""Structured trace recording for simulation runs.
+
+Every interesting occurrence — a message send/delivery, a warehouse
+commit, a VUT transition — can be appended to the simulator's
+:class:`Trace`.  Benchmarks and the consistency checkers read traces back
+to compute metrics (freshness, throughput) and to reconstruct state
+sequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One timestamped occurrence in a run."""
+
+    time: float
+    kind: str
+    process: str
+    detail: dict = field(default_factory=dict, compare=False)
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self.detail.items())
+        return f"[{self.time:10.3f}] {self.process:<16} {self.kind} {inner}"
+
+
+class Trace:
+    """An append-only list of :class:`TraceEvent` with query helpers."""
+
+    __slots__ = ("_events", "enabled")
+
+    def __init__(self) -> None:
+        self._events: list[TraceEvent] = []
+        self.enabled = True
+
+    def record(self, time: float, kind: str, process: str, **detail: object) -> None:
+        if self.enabled:
+            self._events.append(TraceEvent(time, kind, process, dict(detail)))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def __getitem__(self, index: int) -> TraceEvent:
+        return self._events[index]
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        return [e for e in self._events if e.kind == kind]
+
+    def by_process(self, process: str) -> list[TraceEvent]:
+        return [e for e in self._events if e.process == process]
+
+    def where(self, condition: Callable[[TraceEvent], bool]) -> list[TraceEvent]:
+        return [e for e in self._events if condition(e)]
+
+    def first(self, kind: str) -> TraceEvent | None:
+        for event in self._events:
+            if event.kind == kind:
+                return event
+        return None
+
+    def last(self, kind: str) -> TraceEvent | None:
+        for event in reversed(self._events):
+            if event.kind == kind:
+                return event
+        return None
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def to_records(self, *kinds: str) -> list[dict]:
+        """JSON-serialisable event records (optionally filtered by kind)."""
+        wanted = set(kinds)
+        return [
+            {
+                "time": event.time,
+                "kind": event.kind,
+                "process": event.process,
+                **event.detail,
+            }
+            for event in self._events
+            if not wanted or event.kind in wanted
+        ]
+
+    def format(self, *kinds: str) -> str:
+        """Pretty-print the trace (optionally filtered to some kinds)."""
+        wanted = set(kinds)
+        lines = [
+            str(e) for e in self._events if not wanted or e.kind in wanted
+        ]
+        return "\n".join(lines)

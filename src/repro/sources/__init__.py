@@ -1,0 +1,27 @@
+"""Simulated autonomous data sources.
+
+Each source owns a disjoint set of base relations, executes serializable
+local transactions against the shared :class:`SourceWorld`, and reports
+each committed transaction to the integrator in commit order — exactly the
+source model of the paper's Section 2.1 (one update per transaction) and
+Section 6.2 (multi-update and multi-source transactions).
+"""
+
+from repro.sources.update import Update, UpdateKind
+from repro.sources.transactions import SourceTransaction, CommittedTransaction
+from repro.sources.world import SourceWorld
+from repro.sources.source import Source
+from repro.sources.multisource import GlobalTransactionCoordinator
+from repro.sources.monitor import SilentSource, SnapshotDiffMonitor
+
+__all__ = [
+    "SilentSource",
+    "SnapshotDiffMonitor",
+    "Update",
+    "UpdateKind",
+    "SourceTransaction",
+    "CommittedTransaction",
+    "SourceWorld",
+    "Source",
+    "GlobalTransactionCoordinator",
+]

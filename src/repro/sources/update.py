@@ -1,0 +1,79 @@
+"""Base-data updates: single-row inserts, deletes and modifications.
+
+The paper's examples use exactly these three kinds (§3.1: "each update is
+a single tuple insert, delete, or modification").  An :class:`Update`
+converts to a signed-count :class:`~repro.relational.delta.Delta` for the
+maintenance machinery.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import SourceError
+from repro.relational.delta import Delta
+from repro.relational.rows import Row
+
+
+class UpdateKind(enum.Enum):
+    """The three single-row update kinds of the paper's data model (§3.1)."""
+
+    INSERT = "insert"
+    DELETE = "delete"
+    MODIFY = "modify"
+
+
+@dataclass(frozen=True, slots=True)
+class Update:
+    """One single-row change to one base relation."""
+
+    relation: str
+    kind: UpdateKind
+    row: Row
+    new_row: Row | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind is UpdateKind.MODIFY:
+            if self.new_row is None:
+                raise SourceError("MODIFY update needs a new_row")
+        elif self.new_row is not None:
+            raise SourceError(f"{self.kind.value} update must not carry a new_row")
+
+    # -- constructors -------------------------------------------------------
+    @classmethod
+    def insert(cls, relation: str, row: Row | dict) -> "Update":
+        return cls(relation, UpdateKind.INSERT, _coerce(row))
+
+    @classmethod
+    def delete(cls, relation: str, row: Row | dict) -> "Update":
+        return cls(relation, UpdateKind.DELETE, _coerce(row))
+
+    @classmethod
+    def modify(cls, relation: str, old: Row | dict, new: Row | dict) -> "Update":
+        return cls(relation, UpdateKind.MODIFY, _coerce(old), _coerce(new))
+
+    # -- semantics ------------------------------------------------------------
+    def as_delta(self) -> Delta:
+        if self.kind is UpdateKind.INSERT:
+            return Delta.insert(self.row)
+        if self.kind is UpdateKind.DELETE:
+            return Delta.delete(self.row)
+        assert self.new_row is not None
+        return Delta.modify(self.row, self.new_row)
+
+    def touched_rows(self) -> tuple[Row, ...]:
+        """Rows whose values the relevance filter may inspect."""
+        if self.kind is UpdateKind.MODIFY:
+            assert self.new_row is not None
+            return (self.row, self.new_row)
+        return (self.row,)
+
+    def __str__(self) -> str:
+        if self.kind is UpdateKind.MODIFY:
+            return f"modify {self.relation}: {self.row} -> {self.new_row}"
+        return f"{self.kind.value} {self.relation}: {self.row}"
+
+
+def _coerce(row: Row | dict) -> Row:
+    return row if isinstance(row, Row) else Row(row)

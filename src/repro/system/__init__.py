@@ -1,0 +1,23 @@
+"""System assembly: build and run complete Figure-1 warehouses.
+
+:class:`SystemConfig` selects every architectural knob the paper
+discusses (manager class, merge algorithm, submission policy, distributed
+merging, relevance filtering, latencies and costs);
+:class:`WarehouseSystem` wires the processes together, runs workloads, and
+exposes the state histories plus consistency verdicts and performance
+metrics.
+"""
+
+from repro.system.config import SystemConfig
+from repro.system.builder import WarehouseSystem
+from repro.system.metrics import RunMetrics
+from repro.system.sweep import SweepRow, format_sweep, sweep
+
+__all__ = [
+    "SystemConfig",
+    "WarehouseSystem",
+    "RunMetrics",
+    "sweep",
+    "SweepRow",
+    "format_sweep",
+]

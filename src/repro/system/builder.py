@@ -1,0 +1,390 @@
+"""Assembling and running a complete Figure-1 warehouse system.
+
+:class:`WarehouseSystem` takes a :class:`~repro.sources.world.SourceWorld`
+(base relations, owners, initial contents), a list of view definitions and
+a :class:`~repro.system.config.SystemConfig`, and builds the whole
+architecture:
+
+* one :class:`Source` process per relation owner (plus an optional
+  :class:`GlobalTransactionCoordinator` for §6.2 transactions);
+* the :class:`Integrator` and :class:`BaseDataService`;
+* one view manager per view, of the configured kind;
+* one or several merge processes (§6.1 partitioning) with the configured
+  algorithm and submission policy;
+* the :class:`WarehouseProcess` over a :class:`ViewStore` whose views are
+  initially materialized from ``ss_0``.
+
+Workloads are posted with :meth:`post` / :meth:`post_global`, the run is
+driven with :meth:`run`, and the results are read back through
+:attr:`history`, :meth:`source_states`, :meth:`check_mvc` and
+:meth:`metrics`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.consistency import (
+    check_mvc_convergent,
+    check_mvc_ordered,
+    classify_mvc_ordered,
+    replay_source_states,
+)
+from repro.consistency.checker import ConsistencyReport
+from repro.errors import ReproError
+from repro.integrator.basedata import BaseDataService
+from repro.integrator.integrator import Integrator
+from repro.integrator.relevance import RelevanceFilter
+from repro.merge.base import MergeAlgorithm
+from repro.merge.complete_n import CompleteNMerge
+from repro.merge.distributed import partition_views
+from repro.merge.pa import PaintingAlgorithm
+from repro.merge.passthrough import PassThroughMerge
+from repro.merge.process import MergeProcess
+from repro.merge.selection import choose_algorithm
+from repro.merge.spa import SimplePaintingAlgorithm
+from repro.merge.submission import (
+    BatchingPolicy,
+    DbmsDependencyPolicy,
+    DependencySequencedPolicy,
+    EagerPolicy,
+    SequentialPolicy,
+    SubmissionPolicy,
+)
+from repro.relational.database import Database
+from repro.relational.expressions import ViewDefinition
+from repro.sim.kernel import Simulator
+from repro.sources.multisource import GlobalTransactionCoordinator
+from repro.sources.source import Source
+from repro.sources.transactions import SourceTransaction
+from repro.sources.update import Update
+from repro.sources.world import SourceWorld
+from repro.system.config import SystemConfig
+from repro.system.metrics import RunMetrics, collect_metrics
+from repro.viewmgr.base import ViewManager
+from repro.viewmgr.complete import CompleteViewManager
+from repro.viewmgr.complete_n import CompleteNViewManager
+from repro.viewmgr.convergent import ConvergentViewManager
+from repro.viewmgr.naive import NaiveViewManager
+from repro.viewmgr.periodic import PeriodicRefreshManager
+from repro.viewmgr.strong import StrongViewManager
+from repro.warehouse.store import ViewStore
+from repro.warehouse.warehouse import WarehouseProcess
+
+
+class WarehouseSystem:
+    """A fully wired, runnable data-warehouse simulation."""
+
+    def __init__(
+        self,
+        world: SourceWorld,
+        definitions: Sequence[ViewDefinition],
+        config: SystemConfig | None = None,
+    ) -> None:
+        if not definitions:
+            raise ReproError("a warehouse needs at least one view")
+        self.world = world
+        self.definitions = tuple(definitions)
+        self.config = config if config is not None else SystemConfig()
+        self.sim = Simulator(seed=self.config.seed)
+        self.sim.trace.enabled = self.config.trace_enabled
+        self._initial_state = world.current.snapshot()
+        self._build()
+
+    # ------------------------------------------------------------------ build
+    def _build(self) -> None:
+        cfg = self.config
+        schemas = dict(self.world.schemas)
+        view_names = tuple(d.name for d in self.definitions)
+
+        # Warehouse + store, views materialized at ss_0.
+        self.store = ViewStore(
+            self.definitions, schemas, record_history=cfg.record_history
+        )
+        self.warehouse = WarehouseProcess(
+            self.sim,
+            self.store,
+            executors=cfg.warehouse_executors,
+            per_txn_overhead=cfg.warehouse_txn_overhead,
+            per_action_cost=cfg.warehouse_action_cost,
+            supports_dependencies=cfg.warehouse_supports_dependencies,
+        )
+
+        # Base-data service.
+        self.service = BaseDataService(
+            self.sim, per_query_cost=cfg.service_query_cost
+        )
+        self.service.seed(self._initial_state, schemas)
+
+        # Merge processes (possibly partitioned, §6.1).
+        groups = partition_views(self.definitions, max_groups=cfg.merge_groups)
+        self.merge_processes: list[MergeProcess] = []
+        merge_groups: dict[str, tuple[str, ...]] = {}
+        for index, group in enumerate(groups):
+            name = "merge" if len(groups) == 1 else f"merge{index}"
+            algorithm = self._make_algorithm(group, name)
+            merge = MergeProcess(
+                self.sim,
+                algorithm,
+                name=name,
+                policy=self._make_policy(name),
+                per_message_cost=cfg.merge_message_cost,
+                txn_id_start=index + 1,
+                txn_id_step=len(groups),
+            )
+            merge.connect(self.warehouse, cfg.latency_merge_warehouse)
+            self.warehouse.connect(merge, cfg.latency_warehouse_merge)
+            self.merge_processes.append(merge)
+            merge_groups[name] = group
+
+        # View managers.
+        self.view_managers: dict[str, ViewManager] = {}
+        view_to_merge = {
+            view: merge_name
+            for merge_name, views in merge_groups.items()
+            for view in views
+        }
+        relevance = (
+            RelevanceFilter(self.definitions, schemas, use_selections=True)
+            if cfg.use_selection_filtering
+            else None
+        )
+        for definition in self.definitions:
+            manager = self._make_manager(
+                definition, schemas, view_to_merge[definition.name]
+            )
+            manager.connect(
+                self._merge_by_name(view_to_merge[definition.name]),
+                cfg.latency_vm_merge,
+            )
+            manager.connect(self.service, cfg.latency_vm_service)
+            self.service.connect(manager, cfg.latency_vm_service)
+            if relevance is not None:
+                # Keep the replica sigma-restricted in lockstep with the
+                # integrator's routing filter (see RelevanceFilter docs).
+                manager.set_replica_filters(
+                    {
+                        relation: relevance.restricted_predicate(
+                            definition.name, relation
+                        )
+                        for relation in definition.base_relations()
+                    }
+                )
+            if manager.mode == "cached":
+                manager.seed_replica(self._initial_state)
+            self.store.initialize_view(
+                definition.name, manager.materialize_initial(self._initial_state)
+            )
+            self.view_managers[definition.name] = manager
+
+        # Integrator.
+        block = cfg.block_size if self._uses_complete_n() else None
+        self.integrator = Integrator(
+            self.sim,
+            self.definitions,
+            schemas,
+            merge_groups=merge_groups,
+            view_manager_names={v: m.name for v, m in self.view_managers.items()},
+            use_selection_filtering=cfg.use_selection_filtering,
+            send_empty_rels=self._uses_complete_n(),
+            block_size=block,
+            per_update_cost=cfg.integrator_cost,
+        )
+        for merge in self.merge_processes:
+            self.integrator.connect(merge, cfg.latency_integrator_merge)
+        for manager in self.view_managers.values():
+            self.integrator.connect(manager, cfg.latency_integrator_vm)
+        self.integrator.connect(self.service, cfg.latency_integrator_service)
+
+        # Sources and the global coordinator.
+        owners = sorted({self.world.owner_of(r) for r in self.world.schemas})
+        self.sources: dict[str, Source] = {}
+        for owner in owners:
+            source = Source(self.sim, owner, self.world)
+            source.connect(self.integrator, cfg.latency_source_integrator)
+            self.sources[owner] = source
+        self.coordinator = GlobalTransactionCoordinator(self.sim, self.world)
+        self.coordinator.connect(self.integrator, cfg.latency_source_integrator)
+
+    def _uses_complete_n(self) -> bool:
+        cfg = self.config
+        kinds = {cfg.kind_for(d.name) for d in self.definitions}
+        return cfg.merge_algorithm == "complete-n" or "complete-n" in kinds
+
+    def _merge_by_name(self, name: str) -> MergeProcess:
+        for merge in self.merge_processes:
+            if merge.name == name:
+                return merge
+        raise ReproError(f"no merge process named {name!r}")
+
+    def _make_algorithm(
+        self, views: tuple[str, ...], name: str
+    ) -> MergeAlgorithm:
+        cfg = self.config
+        if cfg.merge_algorithm == "spa":
+            return SimplePaintingAlgorithm(views, name=name)
+        if cfg.merge_algorithm == "pa":
+            return PaintingAlgorithm(views, name=name)
+        if cfg.merge_algorithm == "passthrough":
+            return PassThroughMerge(views, name=name)
+        if cfg.merge_algorithm == "complete-n":
+            return CompleteNMerge(views, cfg.block_size, name=name)
+        # auto: the weakest-level rule of §6.3.
+        levels = cfg.manager_levels(views)
+        if "complete-n" in levels and set(levels) == {"complete-n"}:
+            return CompleteNMerge(views, cfg.block_size, name=name)
+        return choose_algorithm(views, levels, name=name)
+
+    def _make_policy(self, merge_name: str) -> SubmissionPolicy:
+        cfg = self.config
+        if cfg.submission_policy == "eager":
+            return EagerPolicy()
+        if cfg.submission_policy == "sequential":
+            return SequentialPolicy()
+        if cfg.submission_policy == "dependency-sequenced":
+            return DependencySequencedPolicy()
+        if cfg.submission_policy == "dbms-dependency":
+            return DbmsDependencyPolicy()
+        return BatchingPolicy(
+            batch_size=cfg.submission_batch_size, merge_name=merge_name
+        )
+
+    def _make_manager(
+        self,
+        definition: ViewDefinition,
+        schemas: dict,
+        merge_name: str,
+    ) -> ViewManager:
+        cfg = self.config
+        kind = cfg.kind_for(definition.name)
+        common = dict(
+            merge_name=merge_name,
+            service_name=self.service.name,
+            compute_cost=cfg.compute_cost,
+        )
+        if kind == "complete":
+            return CompleteViewManager(
+                self.sim, definition, schemas, mode=cfg.manager_mode, **common
+            )
+        if kind == "strong":
+            return StrongViewManager(
+                self.sim,
+                definition,
+                schemas,
+                mode=cfg.manager_mode,
+                batch_max=cfg.batch_max,
+                **common,
+            )
+        if kind == "complete-n":
+            return CompleteNViewManager(
+                self.sim,
+                definition,
+                schemas,
+                cfg.block_size,
+                mode=cfg.manager_mode,
+                **common,
+            )
+        if kind == "periodic":
+            return PeriodicRefreshManager(
+                self.sim, definition, schemas, cfg.refresh_period, **common
+            )
+        if kind == "convergent":
+            return ConvergentViewManager(
+                self.sim, definition, schemas, mode=cfg.manager_mode, **common
+            )
+        if kind == "naive":
+            return NaiveViewManager(self.sim, definition, schemas, **common)
+        raise ReproError(f"unknown manager kind {kind!r}")
+
+    # -------------------------------------------------------------- workloads
+    def post(self, transaction: SourceTransaction, at: float) -> None:
+        """Schedule ``transaction`` at the owning source at virtual time ``at``."""
+        source = self.sources.get(transaction.origin)
+        if source is None:
+            raise ReproError(f"no source named {transaction.origin!r}")
+        self.sim.schedule_at(at, source.execute, transaction)
+
+    def post_update(self, update: Update, at: float) -> None:
+        """Schedule a single-update transaction (the §2.1 common case)."""
+        owner = self.world.owner_of(update.relation)
+        self.post(SourceTransaction.single(owner, update), at)
+
+    def post_global(self, updates: Iterable[Update], at: float) -> None:
+        """Schedule a §6.2 multi-source transaction via the coordinator."""
+        self.sim.schedule_at(at, self.coordinator.execute, tuple(updates))
+
+    # ------------------------------------------------------------------- run
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Drive the simulation; flush trailing blocks/batches at the end."""
+        executed = self.sim.run(until=until, max_events=max_events)
+        if until is None and max_events is None:
+            # End-of-stream: close trailing complete-N blocks at the
+            # managers, let their lists propagate, then flush the merges.
+            for manager in self.view_managers.values():
+                manager.flush()
+            executed += self.sim.run()
+            for merge in self.merge_processes:
+                merge.flush()
+            executed += self.sim.run()
+        return executed
+
+    # ----------------------------------------------------------------- results
+    @property
+    def history(self):
+        """The warehouse state sequence ``ws_0 .. ws_q``."""
+        return self.store.history
+
+    def source_states(self) -> list[Database]:
+        """``ss_0 .. ss_f`` replayed in integrator numbering order."""
+        return replay_source_states(
+            self._initial_state,
+            [txn for _id, txn, _time in self.integrator.numbered],
+        )
+
+    def check_mvc(self, level: str = "auto") -> ConsistencyReport:
+        """Check the run against an MVC level (or the expected one).
+
+        "complete" and "strong" use the order-aware checker (the painting
+        algorithms may legally reorder commuting updates); "convergent"
+        compares final states.
+        """
+        if level == "auto":
+            level = self.expected_level()
+        if level in ("complete", "strong"):
+            return check_mvc_ordered(
+                self.history,
+                self._initial_state,
+                self.integrator.numbered,
+                self.definitions,
+                level,
+            )
+        if level == "convergent":
+            return check_mvc_convergent(
+                self.history, self.source_states(), self.definitions
+            )
+        raise ReproError(f"unknown MVC level {level!r}")
+
+    def classify(self) -> str:
+        """The strongest MVC level this run actually achieved."""
+        return classify_mvc_ordered(
+            self.history,
+            self._initial_state,
+            self.integrator.numbered,
+            self.definitions,
+        )
+
+    def expected_level(self) -> str:
+        """The MVC level the configuration promises."""
+        guarantees = {m.algorithm.guarantees_level for m in self.merge_processes}
+        order = ("convergent", "complete-n", "strong", "complete")
+        weakest = min(guarantees, key=lambda g: order.index(g))
+        if weakest == "complete-n":
+            weakest = "strong"  # complete-N is strong at sub-block reads
+        if weakest == "complete" and not all(
+            m.policy.preserves_completeness for m in self.merge_processes
+        ):
+            weakest = "strong"  # batching degrades completeness (§4.3)
+        return weakest
+
+    def metrics(self) -> RunMetrics:
+        return collect_metrics(self)

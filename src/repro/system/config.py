@@ -1,0 +1,125 @@
+"""Configuration for assembled warehouse systems."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import ReproError
+from repro.sim.network import LatencyModel
+from repro.viewmgr.base import CostModel, default_cost
+
+MANAGER_KINDS = (
+    "complete",
+    "strong",
+    "complete-n",
+    "periodic",
+    "convergent",
+    "naive",
+)
+MERGE_ALGORITHMS = ("auto", "spa", "pa", "passthrough", "complete-n")
+SUBMISSION_POLICIES = (
+    "eager",
+    "sequential",
+    "dependency-sequenced",
+    "dbms-dependency",
+    "batching",
+)
+
+
+@dataclass
+class SystemConfig:
+    """Every knob of the Figure-1 architecture in one place.
+
+    ``manager_kinds`` may override the default ``manager_kind`` per view
+    (mixed fleets, §6.3).  ``merge_algorithm="auto"`` applies the
+    weakest-level rule.  ``merge_groups`` > 1 partitions the merge work
+    (§6.1) into at most that many processes along shared-base-relation
+    boundaries.
+    """
+
+    # view managers
+    manager_kind: str = "complete"
+    manager_kinds: Mapping[str, str] = field(default_factory=dict)
+    manager_mode: str = "cached"  # cached | snapshot | compensate (| naive)
+    batch_max: int | None = None  # strong managers: cap on batch size
+    block_size: int = 4  # complete-N block size
+    refresh_period: float = 50.0  # periodic managers
+    compute_cost: CostModel = default_cost
+
+    # merge process(es)
+    merge_algorithm: str = "auto"
+    merge_groups: int = 1
+    submission_policy: str = "dependency-sequenced"
+    submission_batch_size: int = 4  # for the batching policy
+    merge_message_cost: float = 0.0
+
+    # integrator & base-data service
+    use_selection_filtering: bool = False
+    integrator_cost: float = 0.0
+    service_query_cost: float = 0.0
+
+    # warehouse
+    warehouse_executors: int = 1
+    warehouse_txn_overhead: float = 1.0
+    warehouse_action_cost: float = 0.05
+    warehouse_supports_dependencies: bool = True
+
+    # channels (floats mean FixedLatency)
+    latency_source_integrator: LatencyModel | float = 1.0
+    latency_integrator_vm: LatencyModel | float = 1.0
+    latency_integrator_merge: LatencyModel | float = 1.0
+    latency_vm_merge: LatencyModel | float = 1.0
+    latency_merge_warehouse: LatencyModel | float = 1.0
+    latency_warehouse_merge: LatencyModel | float = 1.0
+    latency_vm_service: LatencyModel | float = 1.0
+    latency_integrator_service: LatencyModel | float = 0.0
+
+    # bookkeeping
+    seed: int = 0
+    record_history: bool = True
+    trace_enabled: bool = True
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        if self.manager_kind not in MANAGER_KINDS:
+            raise ReproError(
+                f"manager_kind {self.manager_kind!r} not in {MANAGER_KINDS}"
+            )
+        for view, kind in self.manager_kinds.items():
+            if kind not in MANAGER_KINDS:
+                raise ReproError(
+                    f"manager kind {kind!r} for view {view!r} "
+                    f"not in {MANAGER_KINDS}"
+                )
+        if self.merge_algorithm not in MERGE_ALGORITHMS:
+            raise ReproError(
+                f"merge_algorithm {self.merge_algorithm!r} "
+                f"not in {MERGE_ALGORITHMS}"
+            )
+        if self.submission_policy not in SUBMISSION_POLICIES:
+            raise ReproError(
+                f"submission_policy {self.submission_policy!r} "
+                f"not in {SUBMISSION_POLICIES}"
+            )
+        if self.merge_groups < 1:
+            raise ReproError(f"merge_groups must be >= 1, got {self.merge_groups}")
+        if self.block_size < 1:
+            raise ReproError(f"block_size must be >= 1, got {self.block_size}")
+
+    def kind_for(self, view: str) -> str:
+        return self.manager_kinds.get(view, self.manager_kind)
+
+    def manager_levels(self, views: tuple[str, ...]) -> list[str]:
+        """The single-view consistency level of each view's manager."""
+        level_of = {
+            "complete": "complete",
+            "strong": "strong",
+            "complete-n": "complete-n",
+            "periodic": "strong",
+            "convergent": "convergent",
+            "naive": "broken",
+        }
+        return [level_of[self.kind_for(view)] for view in views]

@@ -1,0 +1,329 @@
+"""View manager base class.
+
+A view manager (§3.3) is a process that owns one view: it buffers the
+updates the integrator routes to it, computes view deltas (which takes
+virtual time, configurable via ``compute_cost``), and sends action lists
+to its merge process.
+
+Pre-state acquisition — the crux of §1.1 Problem 3 (delta computation is
+"intertwined" with subsequent updates) — supports three correct modes and
+one deliberately broken one:
+
+``cached``
+    The manager keeps local replicas of its base relations, maintained
+    from the very update stream it receives.  Replicas always sit exactly
+    at the state preceding the batch being processed, so deltas are
+    trivially correct.  (The paper notes delta computation "may involve
+    queries back to the sources if base data is not cached at the
+    warehouse" — this is the cached case.)
+
+``snapshot``
+    The manager queries the base-data service for the multiversion
+    snapshot *as of* the batch's starting version.
+
+``compensate``
+    The manager queries the *current* state and rolls back the updates
+    that committed after its batch start (the service ships the undo
+    information).  This is the Strobe-flavoured discipline for autonomous
+    sources without multiversion reads.
+
+``naive``
+    Queries the current state and uses it as-is.  Wrong whenever updates
+    intertwine — kept to demonstrate the anomaly (see
+    :class:`repro.viewmgr.naive.NaiveViewManager`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Mapping
+
+from repro.errors import ViewManagerError
+from repro.messages import (
+    ActionListMessage,
+    SnapshotQuery,
+    SnapshotResponse,
+    UpdateForView,
+)
+from repro.relational.database import Database
+from repro.relational.delta import Delta, propagate_delta
+from repro.relational.expressions import ViewDefinition
+from repro.relational.predicates import Predicate
+from repro.relational.relation import Relation
+from repro.relational.rows import Row
+from repro.relational.schema import Schema
+from repro.sim.process import Process
+from repro.viewmgr.actions import ActionList
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+#: cost model: f(number_of_updates_in_batch, delta_magnitude) -> virtual time
+CostModel = Callable[[int, int], float]
+
+
+def default_cost(batch_size: int, delta_magnitude: int) -> float:
+    """A mild default: fixed overhead plus per-changed-row work."""
+    return 1.0 + 0.05 * delta_magnitude + 0.1 * batch_size
+
+
+PRE_STATE_MODES = ("cached", "snapshot", "compensate", "naive")
+
+
+class ViewManager(Process):
+    """Common machinery; subclasses choose the batching discipline."""
+
+    #: single-view consistency level ("complete", "strong", "convergent")
+    level = "complete"
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        definition: ViewDefinition,
+        base_schemas: Mapping[str, Schema],
+        name: str | None = None,
+        merge_name: str = "merge",
+        service_name: str = "basedata",
+        mode: str = "cached",
+        compute_cost: CostModel = default_cost,
+    ) -> None:
+        super().__init__(sim, name or f"vm:{definition.name}")
+        if mode not in PRE_STATE_MODES:
+            raise ViewManagerError(
+                f"unknown pre-state mode {mode!r}; pick one of {PRE_STATE_MODES}"
+            )
+        self.definition = definition
+        self.view = definition.name
+        self.base_schemas = dict(base_schemas)
+        self.merge_name = merge_name
+        self.service_name = service_name
+        self.mode = mode
+        self.compute_cost = compute_cost
+        self._buffer: deque[UpdateForView] = deque()
+        self._computing = False
+        self._replica: Database | None = None
+        # Per-relation sigma-restriction (selection filtering, [7]): rows a
+        # view's selections provably reject are kept out of the replica
+        # and out of incoming deltas — they can never contribute.
+        self._replica_filters: dict[str, "Predicate"] = {}
+        self._applied_version = 0
+        self._query_ids = itertools.count(1)
+        self._outstanding_query: int | None = None
+        self._current_batch: list[UpdateForView] = []
+        self.action_lists_sent = 0
+        self.updates_processed = 0
+
+    # -- replica management (cached mode) ---------------------------------------
+    def set_replica_filters(self, filters: Mapping[str, "Predicate"]) -> None:
+        """Install the restricted selection predicates (filtering mode).
+
+        Must match the integrator's routing filter: an update this view
+        never receives must also be a row the replica never holds.
+        Call before :meth:`seed_replica`.
+        """
+        self._replica_filters = dict(filters)
+
+    def _row_admissible(self, relation: str, row: Row) -> bool:
+        predicate = self._replica_filters.get(relation)
+        return predicate is None or predicate.evaluate(row)
+
+    def _filter_deltas(self, deltas: dict[str, Delta]) -> dict[str, Delta]:
+        if not self._replica_filters:
+            return deltas
+        return {
+            relation: Delta(
+                {
+                    row: count
+                    for row, count in delta.counts().items()
+                    if self._row_admissible(relation, row)
+                }
+            )
+            for relation, delta in deltas.items()
+        }
+
+    def seed_replica(self, initial: Database) -> None:
+        """Install local base-relation replicas from the initial source state."""
+        replica = Database()
+        for relation in sorted(self.definition.base_relations()):
+            schema = self.base_schemas[relation]
+            rows = (
+                row
+                for row in initial.relation(relation)
+                if self._row_admissible(relation, row)
+            )
+            replica.create_relation(relation, schema, rows)
+        self._replica = replica
+
+    def materialize_initial(self, initial: Database) -> Relation:
+        """Compute the view's initial contents (``V(ss_0)``)."""
+        from repro.relational.algebra import evaluate
+
+        scratch = Database()
+        for relation in sorted(self.definition.base_relations()):
+            scratch.create_relation(
+                relation,
+                self.base_schemas[relation],
+                iter(initial.relation(relation)),
+            )
+        return evaluate(self.definition.expression, scratch)
+
+    # -- message handling -----------------------------------------------------
+    def handle(self, message: object, sender: Process) -> None:
+        if isinstance(message, UpdateForView):
+            if message.view != self.view:
+                raise ViewManagerError(
+                    f"{self.name} got update for view {message.view!r}"
+                )
+            self._buffer.append(message)
+            self._maybe_start()
+        elif isinstance(message, SnapshotResponse):
+            self._on_snapshot(message)
+        elif type(message).__name__ == "EndOfBlock":
+            # Block markers are broadcast to every manager in complete-N
+            # systems; only CompleteNViewManager acts on them (it overrides
+            # handle), the rest ignore them.
+            pass
+        else:
+            raise ViewManagerError(
+                f"{self.name} cannot handle {type(message).__name__}"
+            )
+
+    # -- compute loop -------------------------------------------------------------
+    def _maybe_start(self) -> None:
+        if self._computing or not self._buffer:
+            return
+        batch = self.select_batch()
+        if not batch:
+            return
+        self._computing = True
+        self._current_batch = batch
+        if self.mode == "cached":
+            self._compute_from(self._require_replica(), advance_replica=True)
+        else:
+            self._send_query(batch)
+
+    def select_batch(self) -> list[UpdateForView]:
+        """Take the updates to process next from the buffer (subclass hook).
+
+        Must remove the selected messages from ``self._buffer`` and return
+        them in arrival order; returning an empty list means "not yet"
+        (e.g. complete-N still collecting).
+        """
+        raise NotImplementedError
+
+    def _require_replica(self) -> Database:
+        if self._replica is None:
+            raise ViewManagerError(
+                f"{self.name} runs in cached mode but seed_replica() was "
+                f"never called"
+            )
+        return self._replica
+
+    def _send_query(self, batch: list[UpdateForView]) -> None:
+        start_version = batch[0].update_id - 1
+        query_id = next(self._query_ids)
+        self._outstanding_query = query_id
+        if self.mode == "snapshot":
+            query = SnapshotQuery(
+                query_id,
+                self.name,
+                self.definition.base_relations(),
+                version=start_version,
+            )
+        elif self.mode == "compensate":
+            query = SnapshotQuery(
+                query_id,
+                self.name,
+                self.definition.base_relations(),
+                version=None,
+                undo_from=start_version,
+            )
+        else:  # naive: current state, no undo information requested
+            query = SnapshotQuery(
+                query_id, self.name, self.definition.base_relations(), version=None
+            )
+        self.send(self.service_name, query)
+
+    def _on_snapshot(self, response: SnapshotResponse) -> None:
+        if response.query_id != self._outstanding_query:
+            raise ViewManagerError(
+                f"{self.name} got stale snapshot response {response.query_id}"
+            )
+        self._outstanding_query = None
+        pre_state = self._build_pre_state(response)
+        self._compute_from(pre_state, advance_replica=False)
+
+    def _build_pre_state(self, response: SnapshotResponse) -> Database:
+        db = Database()
+        for relation in sorted(self.definition.base_relations()):
+            counts = response.contents.get(relation, {})
+            db.create_relation(relation, self.base_schemas[relation])
+            target = db.relation(relation)
+            for row, count in counts.items():
+                target.insert(row, count)
+        if self.mode == "compensate":
+            # Roll back every update that committed after our batch start,
+            # in reverse order, to reconstruct the pre-state.
+            for _update_id, update in sorted(
+                response.undo_updates, key=lambda pair: pair[0], reverse=True
+            ):
+                update.as_delta().negated().apply_to(db.relation(update.relation))
+        return db
+
+    def _compute_from(self, pre_state: Database, advance_replica: bool) -> None:
+        batch = self._current_batch
+        deltas = self._filter_deltas(self._batch_deltas(batch))
+        view_delta = propagate_delta(self.definition.expression, pre_state, deltas)
+        if advance_replica:
+            pre_state.apply_deltas(deltas)
+        covered = tuple(msg.update_id for msg in batch)
+        cost = self.compute_cost(len(batch), len(view_delta) + 1)
+        self.trace(
+            "vm_compute",
+            covered=covered,
+            delta=len(view_delta),
+            cost=round(cost, 4),
+        )
+        self.sim.schedule(cost, self._emit, covered, view_delta)
+
+    @staticmethod
+    def _batch_deltas(batch: list[UpdateForView]) -> dict[str, Delta]:
+        merged: dict[str, Delta] = {}
+        for message in batch:
+            for update in message.updates:
+                existing = merged.get(update.relation, Delta())
+                merged[update.relation] = existing.combined(update.as_delta())
+        return merged
+
+    def _emit(self, covered: tuple[int, ...], view_delta: Delta) -> None:
+        action_list = self.build_action_list(covered, view_delta)
+        self.send(self.merge_name, ActionListMessage(action_list))
+        self.action_lists_sent += 1
+        self.updates_processed += len(covered)
+        self._applied_version = covered[-1]
+        self._computing = False
+        self._current_batch = []
+        self._maybe_start()
+
+    def build_action_list(
+        self, covered: tuple[int, ...], view_delta: Delta
+    ) -> ActionList:
+        """Package the computed delta (subclass hook for REPLACE managers)."""
+        return ActionList.from_delta(self.view, self.name, covered, view_delta)
+
+    def flush(self) -> None:
+        """End-of-stream hook: release anything held voluntarily.
+
+        The default managers hold nothing (they always drain their
+        buffer); complete-N overrides this to close its trailing partial
+        block once the update stream has ended.
+        """
+
+    # -- inspection ------------------------------------------------------------
+    @property
+    def backlog(self) -> int:
+        return len(self._buffer) + len(self._current_batch)
+
+    def idle(self) -> bool:
+        return not self._buffer and not self._computing

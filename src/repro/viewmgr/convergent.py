@@ -1,0 +1,51 @@
+"""The convergent view manager (§6.3).
+
+"A view manager may only guarantee the convergence of the view it
+manages.  That is, it only guarantees the eventual correctness of the view
+but not the correctness of intermediate view states."
+
+This manager processes updates in order but applies each update's view
+delta *non-atomically*: deletions ship in one action list and insertions
+in a separate, later one.  Every intermediate warehouse state between the
+two is wrong (rows missing), yet once the stream drains the view equals
+the correct final contents — convergence, and nothing stronger.  Paired
+with :class:`repro.merge.passthrough.PassThroughMerge`, which forwards
+lists immediately, the warehouse inherits exactly that guarantee.
+"""
+
+from __future__ import annotations
+
+from repro.messages import ActionListMessage, UpdateForView
+from repro.relational.delta import Delta
+from repro.viewmgr.actions import ActionList
+from repro.viewmgr.base import ViewManager
+
+
+class ConvergentViewManager(ViewManager):
+    """Eventually correct, intermediate states unconstrained."""
+
+    level = "convergent"
+
+    def select_batch(self) -> list[UpdateForView]:
+        return [self._buffer.popleft()]
+
+    def _emit(self, covered: tuple[int, ...], view_delta: Delta) -> None:
+        deletions = Delta({row: -count for row, count in view_delta.deletions()})
+        insertions = Delta(dict(view_delta.insertions()))
+        emitted = 0
+        for part in (deletions, insertions):
+            if not part:
+                continue
+            action_list = ActionList.from_delta(self.view, self.name, covered, part)
+            self.send(self.merge_name, ActionListMessage(action_list))
+            emitted += 1
+        if not emitted:
+            # Still announce progress with an empty list, like the others.
+            empty = ActionList.from_delta(self.view, self.name, covered, Delta())
+            self.send(self.merge_name, ActionListMessage(empty))
+        self.action_lists_sent += max(emitted, 1)
+        self.updates_processed += len(covered)
+        self._applied_version = covered[-1]
+        self._computing = False
+        self._current_batch = []
+        self._maybe_start()

@@ -1,0 +1,57 @@
+"""The naive (deliberately broken) view manager.
+
+Demonstrates §1.1 Problem 3: "A delta computation ... may be 'intertwined'
+with subsequent updates.  For instance, in Example 1, in between times t1
+and t2 we computed the join of the new S tuple [2,3] with R.  If R is
+updated before we read it, we may get fewer or more tuples than what we
+wanted."
+
+This manager queries the *current* base state (no multiversion snapshot,
+no compensation) and computes each update's delta against it.  Whenever
+another update slips in between the update and the read, the resulting
+action list is wrong — the view drifts away from every consistent source
+state.  Tests and the Table-1 benchmark use it as the cautionary baseline
+that motivates the correct managers in this package.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping
+
+from repro.messages import UpdateForView
+from repro.relational.expressions import ViewDefinition
+from repro.relational.schema import Schema
+from repro.viewmgr.base import CostModel, ViewManager, default_cost
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+
+class NaiveViewManager(ViewManager):
+    """Computes deltas against whatever base state it happens to read."""
+
+    level = "broken"
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        definition: ViewDefinition,
+        base_schemas: Mapping[str, Schema],
+        name: str | None = None,
+        merge_name: str = "merge",
+        service_name: str = "basedata",
+        compute_cost: CostModel = default_cost,
+    ) -> None:
+        super().__init__(
+            sim,
+            definition,
+            base_schemas,
+            name=name,
+            merge_name=merge_name,
+            service_name=service_name,
+            mode="naive",
+            compute_cost=compute_cost,
+        )
+
+    def select_batch(self) -> list[UpdateForView]:
+        return [self._buffer.popleft()]

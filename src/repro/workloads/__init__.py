@@ -1,0 +1,47 @@
+"""Workloads: canonical schemas, view suites and update-stream generators.
+
+Three schema families:
+
+* :func:`paper_world` — the paper's own R(A,B), S(B,C), T(C,D), Q(D,E)
+  relations with the V1/V2/V3 view suites of Examples 1-5;
+* :func:`bank_world` — the §1.1 customer-inquiry scenario (checking /
+  savings / customer relations across two sources);
+* :func:`star_world` — a small retail star schema (sales fact plus
+  product/store dimensions) with selective views that exercise the
+  relevance filter.
+
+:class:`UpdateStreamGenerator` produces seeded, schedulable transaction
+streams (Poisson or uniform arrivals; insert/delete/modify mixes; hot-key
+skew) whose deletes always target live rows.
+"""
+
+from repro.workloads.schemas import (
+    bank_world,
+    bank_views,
+    clustered_views,
+    clustered_world,
+    paper_world,
+    paper_views_example1,
+    paper_views_example2,
+    paper_views_example3,
+    paper_views_example5,
+    star_world,
+    star_views,
+)
+from repro.workloads.generator import UpdateStreamGenerator, WorkloadSpec
+
+__all__ = [
+    "paper_world",
+    "paper_views_example1",
+    "paper_views_example2",
+    "paper_views_example3",
+    "paper_views_example5",
+    "bank_world",
+    "bank_views",
+    "clustered_world",
+    "clustered_views",
+    "star_world",
+    "star_views",
+    "UpdateStreamGenerator",
+    "WorkloadSpec",
+]

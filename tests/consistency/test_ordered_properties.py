@@ -1,0 +1,142 @@
+"""Property tests for the order-aware checker itself.
+
+The checker is the oracle for the whole suite, so it gets validated both
+ways: correct-by-construction histories must always be accepted, and a
+random single-state corruption must always be rejected.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.consistency.ordered import check_mvc_ordered
+from repro.relational.database import Database
+from repro.relational.delta import Delta, propagate_delta
+from repro.relational.parser import parse_view
+from repro.relational.rows import Row
+from repro.relational.schema import Schema
+from repro.sources.transactions import SourceTransaction
+from repro.sources.update import Update
+from repro.viewmgr.actions import ActionList
+from repro.warehouse.store import ViewStore
+from repro.warehouse.txn import WarehouseTransaction
+
+SCHEMAS = {"R": Schema(["A"]), "S": Schema(["B"])}
+DEFS = [
+    parse_view("VR = SELECT * FROM R"),
+    parse_view("VS = SELECT * FROM S"),
+    parse_view("VB = SELECT * FROM R JOIN S"),  # cross product: reads both
+]
+
+
+def initial() -> Database:
+    db = Database()
+    db.create_relation("R", SCHEMAS["R"])
+    db.create_relation("S", SCHEMAS["S"])
+    return db
+
+
+@st.composite
+def workloads(draw):
+    """Random insert-only updates over R and S."""
+    count = draw(st.integers(min_value=1, max_value=8))
+    updates = []
+    for index in range(count):
+        relation = draw(st.sampled_from(["R", "S"]))
+        attr = "A" if relation == "R" else "B"
+        updates.append(
+            Update.insert(relation, {attr: 100 * index + draw(
+                st.integers(min_value=0, max_value=3)
+            )})
+        )
+    return updates
+
+
+@st.composite
+def legal_orders(draw, updates):
+    """A permutation preserving per-relation order (conflict-legal)."""
+    streams = {"R": [], "S": []}
+    for index, update in enumerate(updates, start=1):
+        streams[update.relation].append(index)
+    order = []
+    while streams["R"] or streams["S"]:
+        candidates = [r for r in ("R", "S") if streams[r]]
+        pick = draw(st.sampled_from(candidates))
+        order.append(streams[pick].pop(0))
+    return order
+
+
+def build_history(updates, order):
+    """Apply updates (correctly) to a ViewStore in the given order."""
+    store = ViewStore(DEFS, SCHEMAS)
+    db = initial()
+    by_id = {i + 1: u for i, u in enumerate(updates)}
+    for txn_id, update_id in enumerate(order, start=1):
+        update = by_id[update_id]
+        deltas = {update.relation: update.as_delta()}
+        lists = []
+        for definition in DEFS:
+            if update.relation in definition.base_relations():
+                view_delta = propagate_delta(definition.expression, db, deltas)
+                lists.append(
+                    ActionList.from_delta(
+                        definition.name, definition.name,
+                        (update_id,), view_delta,
+                    )
+                )
+        db.apply_deltas(deltas)
+        store.apply(
+            WarehouseTransaction(txn_id, "m", tuple(lists), (update_id,)),
+            float(txn_id),
+        )
+    return store
+
+
+def numbered(updates):
+    return [
+        (i + 1, SourceTransaction.single("src", u), float(i))
+        for i, u in enumerate(updates)
+    ]
+
+
+@given(data=st.data())
+@settings(max_examples=80, deadline=None)
+def test_correct_histories_always_accepted(data):
+    updates = data.draw(workloads())
+    order = data.draw(legal_orders(updates))
+    store = build_history(updates, order)
+    report = check_mvc_ordered(
+        store.history, initial(), numbered(updates), DEFS, "complete"
+    )
+    assert report, report.reason
+
+
+@given(data=st.data())
+@settings(max_examples=80, deadline=None)
+def test_corrupted_histories_always_rejected(data):
+    updates = data.draw(workloads())
+    order = data.draw(legal_orders(updates))
+    store = build_history(updates, order)
+    # Corrupt exactly one recorded state: poison one view's contents.
+    history = list(store.history)
+    victim_index = data.draw(
+        st.integers(min_value=1, max_value=len(history) - 1)
+    )
+    victim = history[victim_index]
+    view_name = data.draw(st.sampled_from([d.name for d in DEFS]))
+    poisoned_views = {n: r.copy() for n, r in victim.views.items()}
+    poisoned_views[view_name].insert(
+        Row(A=-1) if view_name == "VR" else
+        Row(B=-1) if view_name == "VS" else Row(A=-1, B=-1)
+    )
+    history[victim_index] = type(victim)(
+        index=victim.index,
+        txn_id=victim.txn_id,
+        time=victim.time,
+        covered_rows=victim.covered_rows,
+        views=poisoned_views,
+    )
+    report = check_mvc_ordered(
+        history, initial(), numbered(updates), DEFS, "strong"
+    )
+    assert not report

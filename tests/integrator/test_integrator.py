@@ -1,0 +1,207 @@
+"""Tests for the integrator process."""
+
+import pytest
+
+from repro.errors import IntegratorError
+from repro.integrator.integrator import Integrator
+from repro.messages import (
+    NumberedUpdate,
+    RelMessage,
+    UpdateForView,
+    UpdateNotification,
+)
+from repro.relational.parser import parse_view
+from repro.relational.schema import Schema
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process
+from repro.sources.transactions import SourceTransaction
+from repro.sources.update import Update
+from repro.viewmgr.complete_n import EndOfBlock
+
+SCHEMAS = {"R": Schema(["A"]), "S": Schema(["B"])}
+DEFS = [
+    parse_view("V1 = SELECT * FROM R"),
+    parse_view("V2 = SELECT * FROM R JOIN S"),
+]
+
+
+class Sink(Process):
+    def __init__(self, sim, name):
+        super().__init__(sim, name)
+        self.messages = []
+
+    def handle(self, message, sender):
+        self.messages.append(message)
+
+
+def build(sim, **kwargs):
+    merge = Sink(sim, "merge")
+    vm1 = Sink(sim, "vm:V1")
+    vm2 = Sink(sim, "vm:V2")
+    service = Sink(sim, "basedata")
+    integrator = Integrator(sim, DEFS, SCHEMAS, **kwargs)
+    for sink in (merge, vm1, vm2, service):
+        integrator.connect(sink, 0.0)
+    driver = Sink(sim, "driver")
+    driver.connect(integrator, 0.0)
+    return integrator, merge, vm1, vm2, service, driver
+
+
+def notify(sim, driver, update, at=0.0):
+    txn = SourceTransaction.single("src", update)
+    sim.schedule(at, driver.send, "integrator", UpdateNotification(txn, at))
+
+
+class TestRouting:
+    def test_numbers_and_routes(self):
+        sim = Simulator()
+        integrator, merge, vm1, vm2, service, driver = build(sim)
+        notify(sim, driver, Update.insert("R", {"A": 1}))
+        sim.run()
+        assert integrator.updates_numbered == 1
+        rels = [m for m in merge.messages if isinstance(m, RelMessage)]
+        assert rels == [RelMessage(1, frozenset({"V1", "V2"}))]
+        assert any(isinstance(m, UpdateForView) for m in vm1.messages)
+        assert any(isinstance(m, UpdateForView) for m in vm2.messages)
+        assert any(isinstance(m, NumberedUpdate) for m in service.messages)
+
+    def test_irrelevant_view_not_routed(self):
+        sim = Simulator()
+        integrator, merge, vm1, vm2, _service, driver = build(sim)
+        notify(sim, driver, Update.insert("S", {"B": 1}))
+        sim.run()
+        assert vm1.messages == []  # V1 reads only R
+        assert len(vm2.messages) == 1
+
+    def test_numbering_is_arrival_order(self):
+        sim = Simulator()
+        integrator, merge, _vm1, _vm2, _service, driver = build(sim)
+        notify(sim, driver, Update.insert("R", {"A": 1}), at=1.0)
+        notify(sim, driver, Update.insert("S", {"B": 1}), at=2.0)
+        sim.run()
+        assert [u for u, _t, _c in integrator.numbered] == [1, 2]
+        ids = [m.update_id for m in merge.messages if isinstance(m, RelMessage)]
+        assert ids == [1, 2]
+
+    def test_multi_update_transaction_restricted_per_view(self):
+        sim = Simulator()
+        integrator, _merge, vm1, vm2, _service, driver = build(sim)
+        txn = SourceTransaction(
+            "src",
+            (Update.insert("R", {"A": 1}), Update.insert("S", {"B": 2})),
+        )
+        sim.schedule(0.0, driver.send, "integrator", UpdateNotification(txn, 0.0))
+        sim.run()
+        v1_updates = vm1.messages[0].updates
+        assert all(u.relation == "R" for u in v1_updates)
+        v2_updates = vm2.messages[0].updates
+        assert {u.relation for u in v2_updates} == {"R", "S"}
+
+    def test_service_optional(self):
+        """An integrator can run without a base-data service (all-cached
+        managers never query one)."""
+        sim = Simulator()
+        merge = Sink(sim, "merge")
+        vm1, vm2 = Sink(sim, "vm:V1"), Sink(sim, "vm:V2")
+        integrator = Integrator(sim, DEFS, SCHEMAS, service_name=None)
+        for sink in (merge, vm1, vm2):
+            integrator.connect(sink, 0.0)
+        driver = Sink(sim, "driver")
+        driver.connect(integrator, 0.0)
+        notify(sim, driver, Update.insert("R", {"A": 1}))
+        sim.run()
+        assert integrator.updates_numbered == 1
+        assert any(isinstance(m, UpdateForView) for m in vm1.messages)
+
+    def test_rejects_unknown_message(self):
+        sim = Simulator()
+        _integrator, _m, _v1, _v2, _s, driver = build(sim)
+        sim.schedule(0.0, driver.send, "integrator", "junk")
+        with pytest.raises(IntegratorError):
+            sim.run()
+
+
+class TestMergeGroups:
+    def test_rel_restricted_to_group(self):
+        sim = Simulator()
+        merge_a = Sink(sim, "mA")
+        merge_b = Sink(sim, "mB")
+        service = Sink(sim, "basedata")
+        vm1, vm2 = Sink(sim, "vm:V1"), Sink(sim, "vm:V2")
+        integrator = Integrator(
+            sim,
+            DEFS,
+            SCHEMAS,
+            merge_groups={"mA": ("V1",), "mB": ("V2",)},
+        )
+        for sink in (merge_a, merge_b, vm1, vm2, service):
+            integrator.connect(sink, 0.0)
+        driver = Sink(sim, "driver")
+        driver.connect(integrator, 0.0)
+        # An S update touches only V2's group.
+        notify(sim, driver, Update.insert("S", {"B": 1}))
+        sim.run()
+        assert merge_a.messages == []
+        assert merge_b.messages == [RelMessage(1, frozenset({"V2"}))]
+
+    def test_transaction_spanning_groups_rejected(self):
+        sim = Simulator()
+        merge_a, merge_b = Sink(sim, "mA"), Sink(sim, "mB")
+        service = Sink(sim, "basedata")
+        vm1, vm2 = Sink(sim, "vm:V1"), Sink(sim, "vm:V2")
+        integrator = Integrator(
+            sim, DEFS, SCHEMAS, merge_groups={"mA": ("V1",), "mB": ("V2",)}
+        )
+        for sink in (merge_a, merge_b, vm1, vm2, service):
+            integrator.connect(sink, 0.0)
+        driver = Sink(sim, "driver")
+        driver.connect(integrator, 0.0)
+        # R updates touch V1 (group A) and V2 (group B) at once.
+        notify(sim, driver, Update.insert("R", {"A": 1}))
+        with pytest.raises(IntegratorError, match="several merge groups"):
+            sim.run()
+
+    def test_overlapping_groups_rejected(self):
+        sim = Simulator()
+        with pytest.raises(IntegratorError, match="several merges"):
+            Integrator(
+                sim, DEFS, SCHEMAS,
+                merge_groups={"mA": ("V1", "V2"), "mB": ("V2",)},
+            )
+
+    def test_uncovered_view_rejected(self):
+        sim = Simulator()
+        with pytest.raises(IntegratorError, match="no merge process"):
+            Integrator(sim, DEFS, SCHEMAS, merge_groups={"mA": ("V1",)})
+
+
+class TestCompleteNSupport:
+    def test_end_of_block_markers(self):
+        sim = Simulator()
+        integrator, merge, vm1, vm2, _service, driver = build(
+            sim, block_size=2, send_empty_rels=True
+        )
+        for i in range(4):
+            notify(sim, driver, Update.insert("R", {"A": i}), at=float(i))
+        sim.run()
+        markers = [m for m in vm1.messages if isinstance(m, EndOfBlock)]
+        assert [m.through for m in markers] == [2, 4]
+
+    def test_selection_filter_counts(self):
+        sim = Simulator()
+        defs = [parse_view("Big = SELECT * FROM R WHERE A >= 10")]
+        merge = Sink(sim, "merge")
+        vm = Sink(sim, "vm:Big")
+        service = Sink(sim, "basedata")
+        integrator = Integrator(
+            sim, defs, SCHEMAS, use_selection_filtering=True
+        )
+        for sink in (merge, vm, service):
+            integrator.connect(sink, 0.0)
+        driver = Sink(sim, "driver")
+        driver.connect(integrator, 0.0)
+        notify(sim, driver, Update.insert("R", {"A": 1}), at=0.0)
+        notify(sim, driver, Update.insert("R", {"A": 50}), at=1.0)
+        sim.run()
+        assert integrator.filtered_out == 1
+        assert len(vm.messages) == 1

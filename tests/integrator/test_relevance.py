@@ -1,0 +1,105 @@
+"""Tests for relevant-view computation and selection-condition filtering."""
+
+import pytest
+
+from repro.integrator.relevance import RelevanceFilter, relevant_views
+from repro.relational.parser import parse_view
+from repro.relational.schema import Attribute, AttrType, Schema
+from repro.sources.update import Update
+
+SCHEMAS = {
+    "Sales": Schema(
+        [
+            Attribute("sale"),
+            Attribute("prod"),
+            Attribute("qty"),
+        ]
+    ),
+    "Product": Schema([Attribute("prod"), Attribute("price")]),
+}
+
+DEFS = [
+    parse_view("All = SELECT * FROM Sales JOIN Product"),
+    parse_view("Big = SELECT sale, qty FROM Sales WHERE qty >= 10"),
+    parse_view("Cheap = SELECT * FROM Product WHERE price <= 5"),
+]
+
+
+class TestBaseRelationTest:
+    def test_views_reading(self):
+        filt = RelevanceFilter(DEFS, SCHEMAS)
+        assert set(filt.views_reading("Sales")) == {"All", "Big"}
+        assert set(filt.views_reading("Product")) == {"All", "Cheap"}
+        assert filt.views_reading("Nothing") == ()
+
+    def test_update_relevant_to_readers_only(self):
+        filt = RelevanceFilter(DEFS, SCHEMAS)
+        update = Update.insert("Sales", {"sale": 1, "prod": 2, "qty": 3})
+        assert filt.relevant_views([update]) == frozenset({"All", "Big"})
+
+    def test_without_filtering_selection_ignored(self):
+        filt = RelevanceFilter(DEFS, SCHEMAS, use_selections=False)
+        low = Update.insert("Sales", {"sale": 1, "prod": 2, "qty": 1})
+        assert "Big" in filt.relevant_views([low])
+
+
+class TestSelectionFiltering:
+    def test_insert_failing_selection_filtered(self):
+        filt = RelevanceFilter(DEFS, SCHEMAS, use_selections=True)
+        low = Update.insert("Sales", {"sale": 1, "prod": 2, "qty": 1})
+        assert filt.relevant_views([low]) == frozenset({"All"})
+
+    def test_insert_passing_selection_kept(self):
+        filt = RelevanceFilter(DEFS, SCHEMAS, use_selections=True)
+        high = Update.insert("Sales", {"sale": 1, "prod": 2, "qty": 50})
+        assert "Big" in filt.relevant_views([high])
+
+    def test_delete_filtered_like_insert(self):
+        filt = RelevanceFilter(DEFS, SCHEMAS, use_selections=True)
+        low = Update.delete("Sales", {"sale": 1, "prod": 2, "qty": 1})
+        assert "Big" not in filt.relevant_views([low])
+
+    def test_modify_relevant_if_either_row_passes(self):
+        filt = RelevanceFilter(DEFS, SCHEMAS, use_selections=True)
+        crossing = Update.modify(
+            "Sales",
+            {"sale": 1, "prod": 2, "qty": 1},
+            {"sale": 1, "prod": 2, "qty": 20},
+        )
+        assert "Big" in filt.relevant_views([crossing])
+        below = Update.modify(
+            "Sales",
+            {"sale": 1, "prod": 2, "qty": 1},
+            {"sale": 1, "prod": 2, "qty": 2},
+        )
+        assert "Big" not in filt.relevant_views([below])
+
+    def test_selection_on_other_relation_does_not_filter(self):
+        """Cheap's predicate is on Product; Sales updates can't be pruned by it."""
+        filt = RelevanceFilter(DEFS, SCHEMAS, use_selections=True)
+        update = Update.insert("Product", {"prod": 1, "price": 50})
+        assert filt.relevant_views([update]) == frozenset({"All"})
+        cheap = Update.insert("Product", {"prod": 1, "price": 2})
+        assert filt.relevant_views([cheap]) == frozenset({"All", "Cheap"})
+
+
+class TestMultiUpdate:
+    def test_union_over_transaction(self):
+        filt = RelevanceFilter(DEFS, SCHEMAS, use_selections=True)
+        updates = [
+            Update.insert("Sales", {"sale": 1, "prod": 2, "qty": 1}),
+            Update.insert("Product", {"prod": 9, "price": 1}),
+        ]
+        assert filt.relevant_views(updates) == frozenset({"All", "Cheap"})
+
+    def test_relevant_updates_for_view(self):
+        filt = RelevanceFilter(DEFS, SCHEMAS, use_selections=True)
+        sales = Update.insert("Sales", {"sale": 1, "prod": 2, "qty": 50})
+        product = Update.insert("Product", {"prod": 9, "price": 1})
+        restricted = filt.relevant_updates_for_view("Big", [sales, product])
+        assert restricted == (sales,)
+
+    def test_one_shot_helper(self):
+        update = Update.insert("Product", {"prod": 1, "price": 2})
+        views = relevant_views(DEFS, SCHEMAS, [update], use_selections=True)
+        assert views == frozenset({"All", "Cheap"})

@@ -1,0 +1,85 @@
+"""Tests for the complete-N merge policy (§6.3)."""
+
+import pytest
+
+from repro.errors import MergeError
+from repro.merge.complete_n import CompleteNMerge
+
+from tests.conftest import make_al, unit_summary
+
+
+@pytest.fixture
+def merge() -> CompleteNMerge:
+    return CompleteNMerge(("V1", "V2"), n=2)
+
+
+class TestBlocks:
+    def test_block_released_when_complete(self, merge):
+        merge.receive_rel(1, frozenset({"V1"}))
+        merge.receive_rel(2, frozenset({"V2"}))
+        assert merge.receive_action_list(make_al("V1", [1])) == []
+        units = merge.receive_action_list(make_al("V2", [2]))
+        assert unit_summary(units) == [((1, 2), ("V1", "V2"))]
+        assert merge.idle()
+
+    def test_block_waits_for_all_rels(self, merge):
+        merge.receive_rel(1, frozenset({"V1"}))
+        # Block [1,2] cannot release before REL2 even if row 1 is ready.
+        assert merge.receive_action_list(make_al("V1", [1])) == []
+        units = merge.receive_rel(2, frozenset())
+        # Only the relevant row is covered: an irrelevant update must not
+        # be claimed by this merge (under §6.1 distribution another merge
+        # may own it).
+        assert unit_summary(units) == [((1,), ("V1",))]
+
+    def test_blocks_release_in_order(self, merge):
+        for row, views in ((1, {"V1"}), (2, set()), (3, {"V2"}), (4, set())):
+            merge.receive_rel(row, frozenset(views))
+        # Block 2's list arrives first; it must wait for block 1.
+        assert merge.receive_action_list(make_al("V2", [3])) == []
+        units = merge.receive_action_list(make_al("V1", [1]))
+        assert [u.rows for u in units] == [(1,), (3,)]
+
+    def test_al_spanning_blocks_rejected(self, merge):
+        merge.receive_rel(1, frozenset({"V1"}))
+        merge.receive_rel(2, frozenset({"V1"}))
+        merge.receive_rel(3, frozenset({"V1"}))
+        with pytest.raises(MergeError, match="spans blocks"):
+            merge.receive_action_list(make_al("V1", [2, 3]))
+
+    def test_batched_within_block_allowed(self, merge):
+        merge.receive_rel(1, frozenset({"V1"}))
+        merge.receive_rel(2, frozenset({"V1"}))
+        units = merge.receive_action_list(make_al("V1", [1, 2]))
+        assert unit_summary(units) == [((1, 2), ("V1",))]
+
+    def test_duplicate_entry_rejected(self, merge):
+        # Keep the block open (no REL2) so row 1 stays in the table.
+        merge.receive_rel(1, frozenset({"V1"}))
+        merge.receive_action_list(make_al("V1", [1], manager="a"))
+        with pytest.raises(MergeError, match="expected white"):
+            merge.receive_action_list(make_al("V1", [1], manager="b"))
+
+
+class TestFlush:
+    def test_flush_trailing_partial_block(self, merge):
+        merge.receive_rel(1, frozenset({"V1"}))
+        merge.receive_rel(2, frozenset({"V1"}))
+        merge.receive_rel(3, frozenset({"V1"}))  # block 2 never closes
+        merge.receive_action_list(make_al("V1", [1, 2]))
+        assert merge.receive_action_list(make_al("V1", [3])) == []
+        units = merge.flush()
+        assert unit_summary(units) == [((3,), ("V1",))]
+        assert merge.idle()
+
+    def test_flush_with_missing_lists_rejected(self, merge):
+        merge.receive_rel(1, frozenset({"V1"}))
+        with pytest.raises(MergeError, match="still waits"):
+            merge.flush()
+
+    def test_flush_nothing_is_noop(self, merge):
+        assert merge.flush() == []
+
+    def test_bad_n_rejected(self):
+        with pytest.raises(MergeError):
+            CompleteNMerge(("V1",), n=0)

@@ -1,0 +1,82 @@
+"""Tests for §6.1 view partitioning."""
+
+import pytest
+
+from repro.errors import MergeError
+from repro.merge.distributed import group_for_view, partition_views
+from repro.relational.parser import parse_view
+
+
+def views(*texts):
+    return [parse_view(t) for t in texts]
+
+
+class TestPartition:
+    def test_figure3_partition(self):
+        """V1=R./S and V2=S./T share S; V3=Q stands alone."""
+        defs = views(
+            "V1 = SELECT * FROM R JOIN S",
+            "V2 = SELECT * FROM S JOIN T",
+            "V3 = SELECT * FROM Q",
+        )
+        assert partition_views(defs) == [("V1", "V2"), ("V3",)]
+
+    def test_fully_disjoint(self):
+        defs = views("A = SELECT * FROM X", "B = SELECT * FROM Y")
+        assert partition_views(defs) == [("A",), ("B",)]
+
+    def test_fully_connected(self):
+        defs = views(
+            "A = SELECT * FROM X JOIN Y",
+            "B = SELECT * FROM Y JOIN Z",
+            "C = SELECT * FROM Z",
+        )
+        assert partition_views(defs) == [("A", "B", "C")]
+
+    def test_transitive_sharing(self):
+        defs = views(
+            "A = SELECT * FROM X",
+            "B = SELECT * FROM X JOIN Y",
+            "C = SELECT * FROM Y",
+            "D = SELECT * FROM W",
+        )
+        assert partition_views(defs) == [("A", "B", "C"), ("D",)]
+
+    def test_empty_rejected(self):
+        with pytest.raises(MergeError):
+            partition_views([])
+
+    def test_duplicate_names_rejected(self):
+        defs = views("A = SELECT * FROM X", "A = SELECT * FROM Y")
+        with pytest.raises(MergeError):
+            partition_views(defs)
+
+
+class TestCoalesce:
+    def test_max_groups_merges_smallest(self):
+        defs = views(
+            "A = SELECT * FROM X",
+            "B = SELECT * FROM Y",
+            "C = SELECT * FROM Z",
+        )
+        groups = partition_views(defs, max_groups=2)
+        assert len(groups) == 2
+        assert sorted(v for g in groups for v in g) == ["A", "B", "C"]
+
+    def test_max_groups_one_merges_all(self):
+        defs = views("A = SELECT * FROM X", "B = SELECT * FROM Y")
+        assert partition_views(defs, max_groups=1) == [("A", "B")]
+
+    def test_max_groups_larger_than_partition_is_noop(self):
+        defs = views("A = SELECT * FROM X", "B = SELECT * FROM Y")
+        assert len(partition_views(defs, max_groups=10)) == 2
+
+
+class TestGroupForView:
+    def test_finds_group(self):
+        groups = [("A", "B"), ("C",)]
+        assert group_for_view(groups, "C") == ("C",)
+
+    def test_missing_view(self):
+        with pytest.raises(MergeError):
+            group_for_view([("A",)], "Z")

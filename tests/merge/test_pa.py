@@ -1,0 +1,169 @@
+"""Tests for the Painting Algorithm, including the paper's Example 5."""
+
+import pytest
+
+from repro.errors import MergeError
+from repro.merge.pa import PaintingAlgorithm
+from repro.merge.vut import Color
+
+from tests.conftest import empty_al, make_al, unit_summary
+
+
+@pytest.fixture
+def pa() -> PaintingAlgorithm:
+    return PaintingAlgorithm(("V1", "V2", "V3"))
+
+
+class TestBasicFlow:
+    def test_single_update_behaves_like_spa(self, pa):
+        pa.receive_rel(1, frozenset({"V1", "V2"}))
+        assert pa.receive_action_list(make_al("V1", [1])) == []
+        units = pa.receive_action_list(make_al("V2", [1]))
+        assert unit_summary(units) == [((1,), ("V1", "V2"))]
+        assert pa.idle()
+
+    def test_batched_list_colors_all_covered_rows(self, pa):
+        pa.receive_rel(1, frozenset({"V1"}))
+        pa.receive_rel(2, frozenset({"V1"}))
+        units = pa.receive_action_list(make_al("V1", [1, 2]))
+        assert unit_summary(units) == [((1, 2), ("V1",))]
+
+    def test_state_field_recorded(self, pa):
+        pa.receive_rel(1, frozenset({"V1", "V2"}))
+        pa.receive_rel(2, frozenset({"V1"}))
+        pa.receive_action_list(make_al("V1", [1, 2]))
+        # Row 1 cannot apply (V2 white); entries point to state 2.
+        assert pa.vut.state(1, "V1") == 2
+        assert pa.vut.state(2, "V1") == 2
+        assert pa.vut.color(1, "V1") is Color.RED
+
+    def test_covered_mismatch_rejected(self, pa):
+        pa.receive_rel(1, frozenset({"V1"}))
+        pa.receive_rel(2, frozenset({"V1"}))
+        with pytest.raises(MergeError, match="must batch consecutive"):
+            # Skips row 1 which is still white in column V1.
+            pa.receive_action_list(make_al("V1", [2]))
+
+    def test_al_before_rel_is_held(self, pa):
+        assert pa.receive_action_list(make_al("V1", [1, 2])) == []
+        pa.receive_rel(1, frozenset({"V1"}))
+        units = pa.receive_rel(2, frozenset({"V1"}))
+        assert unit_summary(units) == [((1, 2), ("V1",))]
+
+    def test_empty_rel_rows_are_inert(self, pa):
+        assert pa.receive_rel(1, frozenset()) == []
+        assert pa.idle()
+
+    def test_empty_content_lists_apply(self, pa):
+        pa.receive_rel(1, frozenset({"V1"}))
+        units = pa.receive_action_list(empty_al("V1", [1]))
+        assert unit_summary(units) == [((1,), ("V1",))]
+
+
+class TestGrouping:
+    def test_batch_pulls_in_earlier_red_rows(self, pa):
+        """A row's earlier unapplied lists join the same transaction."""
+        pa.receive_rel(1, frozenset({"V1", "V2"}))
+        pa.receive_rel(2, frozenset({"V1"}))
+        # V1 batches {1,2}; V2 still white on row 1 -> nothing applies.
+        assert pa.receive_action_list(make_al("V1", [1, 2])) == []
+        # V2's list for row 1 arrives: rows 1 and 2 must go together,
+        # because V1's single list covers both.
+        units = pa.receive_action_list(make_al("V2", [1]))
+        # Row 1's own list comes first; the batched V1 list is keyed to its
+        # last update (row 2), so it follows.
+        assert unit_summary(units) == [((1, 2), ("V2", "V1"))]
+
+    def test_failed_group_applies_nothing(self, pa):
+        pa.receive_rel(1, frozenset({"V1", "V2"}))
+        pa.receive_rel(2, frozenset({"V1", "V3"}))
+        pa.receive_action_list(make_al("V1", [1, 2]))
+        pa.receive_action_list(make_al("V2", [1]))
+        # Row 2 still waits for V3 -> the whole group {1,2} is stuck.
+        assert not pa.idle()
+        assert pa.vut.color(1, "V2") is Color.RED
+        # V3 arrives; now everything goes in one transaction (row 1's list,
+        # then row 2's lists in view order).
+        units = pa.receive_action_list(make_al("V3", [2]))
+        assert unit_summary(units) == [((1, 2), ("V2", "V1", "V3"))]
+
+    def test_independent_rows_do_not_group(self, pa):
+        pa.receive_rel(1, frozenset({"V1"}))
+        pa.receive_rel(2, frozenset({"V2"}))
+        units1 = pa.receive_action_list(make_al("V2", [2]))
+        assert unit_summary(units1) == [((2,), ("V2",))]
+        units2 = pa.receive_action_list(make_al("V1", [1]))
+        assert unit_summary(units2) == [((1,), ("V1",))]
+
+    def test_cascading_unblock_after_group_apply(self, pa):
+        pa.receive_rel(1, frozenset({"V1"}))
+        pa.receive_rel(2, frozenset({"V1"}))
+        pa.receive_rel(3, frozenset({"V1"}))
+        pa.receive_action_list(make_al("V1", [1]))
+        assert pa.vut.row_ids == (2, 3)
+        units = pa.receive_action_list(make_al("V1", [2, 3]))
+        assert unit_summary(units) == [((2, 3), ("V1",))]
+        assert pa.idle()
+
+
+class TestPaperExample5:
+    """Receipt order REL1..3, AL21, AL23(2,3), AL32, AL11, AL33."""
+
+    def test_full_trace(self):
+        pa = PaintingAlgorithm(("V1", "V2", "V3"))
+        emitted = {}
+        pa.receive_rel(1, frozenset({"V1", "V2"}))
+        pa.receive_rel(2, frozenset({"V2", "V3"}))
+        pa.receive_rel(3, frozenset({"V2", "V3"}))
+        emitted["AL21"] = pa.receive_action_list(make_al("V2", [1]))
+        emitted["AL23"] = pa.receive_action_list(make_al("V2", [2, 3]))
+        emitted["AL32"] = pa.receive_action_list(make_al("V3", [2]))
+        emitted["AL11"] = pa.receive_action_list(make_al("V1", [1]))
+        emitted["AL33"] = pa.receive_action_list(make_al("V3", [3]))
+
+        # t1..t3: nothing can be applied.
+        assert emitted["AL21"] == [] and emitted["AL23"] == []
+        assert emitted["AL32"] == []
+        # t4/t5: row 1 applies alone once AL11 arrives.
+        assert unit_summary(emitted["AL11"]) == [((1,), ("V1", "V2"))]
+        # t6/t7: AL33 triggers rows 2 and 3 together in one transaction.
+        assert [u.rows for u in emitted["AL33"]] == [(2, 3)]
+        views = tuple(al.view for al in emitted["AL33"][0].action_lists)
+        assert views == ("V3", "V2", "V3")  # row2's lists, then row3's
+        assert pa.idle()
+
+    def test_states_after_al23(self):
+        pa = PaintingAlgorithm(("V1", "V2", "V3"))
+        pa.receive_rel(1, frozenset({"V1", "V2"}))
+        pa.receive_rel(2, frozenset({"V2", "V3"}))
+        pa.receive_rel(3, frozenset({"V2", "V3"}))
+        pa.receive_action_list(make_al("V2", [1]))
+        pa.receive_action_list(make_al("V2", [2, 3]))
+        # Paper t1,t2 table: entry (1,V2) is (r,1); (2,V2) and (3,V2) are (r,3).
+        assert pa.vut.state(1, "V2") == 1
+        assert pa.vut.state(2, "V2") == 3
+        assert pa.vut.state(3, "V2") == 3
+
+
+class TestOrderSafety:
+    def test_group_never_applies_past_a_blocked_member(self):
+        """The apply happens only after ALL columns of ALL members check out.
+
+        Construction: row 1 (V2+V3) is blocked on V3; V1 batches rows
+        {2,3}; row 3's V2 list is already in.  If an inner recursion frame
+        applied {2,3} before the root examined row 3's V2 column, row 3's
+        V2 list would commit before row 1's — breaking per-manager order.
+        PA must apply nothing until V3's list arrives.
+        """
+        pa = PaintingAlgorithm(("V1", "V2", "V3"))
+        pa.receive_rel(1, frozenset({"V2", "V3"}))
+        pa.receive_rel(2, frozenset({"V1"}))
+        pa.receive_rel(3, frozenset({"V1", "V2"}))
+        assert pa.receive_action_list(make_al("V2", [1])) == []
+        assert pa.receive_action_list(make_al("V2", [3])) == []
+        # The critical moment: rows 2+3 look ready through column V1 alone.
+        assert pa.receive_action_list(make_al("V1", [2, 3])) == []
+        # Unblocking row 1 releases it, then cascades into rows {2,3}.
+        units = pa.receive_action_list(make_al("V3", [1]))
+        assert [u.rows for u in units] == [(1,), (2, 3)]
+        assert pa.idle()

@@ -1,0 +1,200 @@
+"""Property-based tests: the painting algorithms under random interleavings.
+
+For any relevance pattern and any legal arrival order of REL and AL
+messages, SPA and PA must
+
+* emit every action list exactly once, grouped into atomic units;
+* never apply two lists from one manager out of order;
+* apply each row only after all its lists arrived (atomicity);
+* finish idle (promptness: nothing held once the stream completes);
+* SPA: one row per unit (completeness); PA: batched rows stay together.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.merge.pa import PaintingAlgorithm
+from repro.merge.spa import SimplePaintingAlgorithm
+from repro.relational.delta import Delta
+from repro.relational.rows import Row
+from repro.viewmgr.actions import ActionList
+
+VIEWS = ("V1", "V2", "V3")
+
+
+@st.composite
+def relevance_patterns(draw):
+    """For each update id 1..n, the set of relevant views (may be empty)."""
+    n = draw(st.integers(min_value=1, max_value=8))
+    return [
+        frozenset(
+            v for v in VIEWS if draw(st.booleans())
+        )
+        for _ in range(n)
+    ]
+
+
+def make_lists_complete(pattern):
+    """One AL per (update, relevant view)."""
+    lists = []
+    for index, views in enumerate(pattern, start=1):
+        for view in views:
+            lists.append(
+                ActionList.from_delta(
+                    view, view, (index,), Delta.insert(Row(u=index, v=hash(view) % 97))
+                )
+            )
+    return lists
+
+
+@st.composite
+def complete_scenarios(draw):
+    """A relevance pattern plus a legal arrival interleaving.
+
+    Legal = RELs in id order (FIFO from the integrator), each manager's
+    lists in id order (FIFO from the manager), arbitrary interleaving
+    otherwise — including ALs before their REL.
+    """
+    pattern = draw(relevance_patterns())
+    streams = {"rel": [("rel", i + 1, views) for i, views in enumerate(pattern)]}
+    for view in VIEWS:
+        stream = [
+            ("al", al)
+            for al in make_lists_complete(pattern)
+            if al.view == view
+        ]
+        if stream:
+            streams[view] = stream
+    events = []
+    cursors = {k: 0 for k in streams}
+    remaining = sum(len(s) for s in streams.values())
+    while remaining:
+        candidates = [k for k, c in cursors.items() if c < len(streams[k])]
+        key = draw(st.sampled_from(sorted(candidates)))
+        events.append(streams[key][cursors[key]])
+        cursors[key] += 1
+        remaining -= 1
+    return pattern, events
+
+
+def drive(algorithm, events):
+    units = []
+    for event in events:
+        if event[0] == "rel":
+            units.extend(algorithm.receive_rel(event[1], event[2]))
+        else:
+            units.extend(algorithm.receive_action_list(event[1]))
+    return units
+
+
+def check_common_invariants(pattern, units):
+    # Every (update, view) list applied exactly once.
+    applied = [
+        (row, al.view)
+        for unit in units
+        for al in unit.action_lists
+        for row in al.covered
+    ]
+    expected = [
+        (i + 1, v) for i, views in enumerate(pattern) for v in sorted(views)
+    ]
+    assert sorted(applied) == sorted(expected)
+    # Per-manager lists applied in id order.
+    seen: dict[str, int] = {}
+    for unit in units:
+        for al in unit.action_lists:
+            assert seen.get(al.manager, 0) < al.covered[0]
+            seen[al.manager] = al.last_update
+    # Atomicity: a unit contains all lists of each covered row.
+    for unit in units:
+        rows = set(unit.rows)
+        for row in rows:
+            wanted = pattern[row - 1]
+            got = {al.view for al in unit.action_lists if row in al.covered}
+            assert got == wanted
+    # Same-view rows must be applied in increasing order across units.
+    last_by_view: dict[str, int] = {}
+    for unit in units:
+        for al in unit.action_lists:
+            for row in al.covered:
+                assert last_by_view.get(al.view, 0) < row
+            last_by_view[al.view] = max(
+                last_by_view.get(al.view, 0), al.last_update
+            )
+
+
+@given(scenario=complete_scenarios())
+@settings(max_examples=120, deadline=None)
+def test_spa_invariants_under_any_arrival_order(scenario):
+    pattern, events = scenario
+    spa = SimplePaintingAlgorithm(VIEWS)
+    units = drive(spa, events)
+    check_common_invariants(pattern, units)
+    # Completeness: one row per unit.
+    assert all(len(unit.rows) == 1 for unit in units)
+    # Promptness baseline: nothing held at the end.
+    assert spa.idle()
+
+
+@st.composite
+def strong_scenarios(draw):
+    """Like complete_scenarios, but managers may batch consecutive updates."""
+    pattern = draw(relevance_patterns())
+    streams = {"rel": [("rel", i + 1, views) for i, views in enumerate(pattern)]}
+    for view in VIEWS:
+        relevant_ids = [
+            i + 1 for i, views in enumerate(pattern) if view in views
+        ]
+        position = 0
+        stream = []
+        while position < len(relevant_ids):
+            size = draw(st.integers(min_value=1, max_value=3))
+            batch = tuple(relevant_ids[position:position + size])
+            position += len(batch)
+            stream.append(
+                (
+                    "al",
+                    ActionList.from_delta(
+                        view, view, batch, Delta.insert(Row(u=batch[-1]))
+                    ),
+                )
+            )
+        if stream:
+            streams[view] = stream
+    events = []
+    cursors = {k: 0 for k in streams}
+    remaining = sum(len(s) for s in streams.values())
+    while remaining:
+        candidates = [k for k, c in cursors.items() if c < len(streams[k])]
+        key = draw(st.sampled_from(sorted(candidates)))
+        events.append(streams[key][cursors[key]])
+        cursors[key] += 1
+        remaining -= 1
+    return pattern, events
+
+
+@given(scenario=strong_scenarios())
+@settings(max_examples=120, deadline=None)
+def test_pa_invariants_under_any_arrival_order_and_batching(scenario):
+    pattern, events = scenario
+    pa = PaintingAlgorithm(VIEWS)
+    units = drive(pa, events)
+    check_common_invariants(pattern, units)
+    # Batches stay atomic: all rows of one AL are in the same unit.
+    for unit in units:
+        rows = set(unit.rows)
+        for al in unit.action_lists:
+            assert set(al.covered) <= rows
+    assert pa.idle()
+
+
+@given(scenario=complete_scenarios())
+@settings(max_examples=60, deadline=None)
+def test_pa_handles_complete_managers_too(scenario):
+    """PA degrades gracefully to per-update lists (§6.3 mixed fleets)."""
+    pattern, events = scenario
+    pa = PaintingAlgorithm(VIEWS)
+    units = drive(pa, events)
+    check_common_invariants(pattern, units)
+    assert pa.idle()

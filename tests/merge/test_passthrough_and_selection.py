@@ -1,0 +1,71 @@
+"""Tests for the pass-through merge and the weakest-level selection rule."""
+
+import pytest
+
+from repro.errors import MergeError
+from repro.merge.pa import PaintingAlgorithm
+from repro.merge.passthrough import PassThroughMerge
+from repro.merge.selection import choose_algorithm, weakest_level
+from repro.merge.spa import SimplePaintingAlgorithm
+
+from tests.conftest import empty_al, make_al, unit_summary
+
+
+class TestPassThrough:
+    def test_forwards_immediately(self):
+        merge = PassThroughMerge(("V1",))
+        units = merge.receive_action_list(make_al("V1", [1]))
+        assert unit_summary(units) == [((1,), ("V1",))]
+
+    def test_ignores_rels(self):
+        merge = PassThroughMerge(("V1",))
+        assert merge.receive_rel(1, frozenset({"V1"})) == []
+
+    def test_accepts_out_of_order_lists(self):
+        """Convergent managers may emit several lists per update."""
+        merge = PassThroughMerge(("V1",))
+        merge.receive_action_list(make_al("V1", [2], manager="m"))
+        units = merge.receive_action_list(make_al("V1", [2], manager="m", tag=1))
+        assert len(units) == 1
+
+    def test_drops_empty_lists(self):
+        merge = PassThroughMerge(("V1",))
+        assert merge.receive_action_list(empty_al("V1", [1])) == []
+
+    def test_always_idle(self):
+        assert PassThroughMerge(("V1",)).idle()
+
+
+class TestWeakestLevel:
+    def test_ordering(self):
+        assert weakest_level(["complete", "strong"]) == "strong"
+        assert weakest_level(["strong", "convergent"]) == "convergent"
+        assert weakest_level(["complete"]) == "complete"
+        assert weakest_level(["complete", "complete-n"]) == "complete-n"
+        assert weakest_level(["broken", "complete"]) == "broken"
+
+    def test_empty_rejected(self):
+        with pytest.raises(MergeError):
+            weakest_level([])
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(MergeError):
+            weakest_level(["amazing"])
+
+
+class TestChooseAlgorithm:
+    def test_all_complete_gives_spa(self):
+        algorithm = choose_algorithm(("V1",), ["complete", "complete"])
+        assert isinstance(algorithm, SimplePaintingAlgorithm)
+
+    def test_any_strong_gives_pa(self):
+        algorithm = choose_algorithm(("V1",), ["complete", "strong"])
+        assert isinstance(algorithm, PaintingAlgorithm)
+
+    def test_complete_n_gives_pa(self):
+        algorithm = choose_algorithm(("V1",), ["complete-n"])
+        assert isinstance(algorithm, PaintingAlgorithm)
+
+    def test_any_convergent_gives_passthrough(self):
+        algorithm = choose_algorithm(("V1",), ["strong", "convergent"])
+        assert isinstance(algorithm, PassThroughMerge)

@@ -1,0 +1,177 @@
+"""Tests for the Simple Painting Algorithm, including the paper's traces."""
+
+import pytest
+
+from repro.errors import MergeError
+from repro.merge.spa import SimplePaintingAlgorithm
+from repro.merge.vut import Color
+
+from tests.conftest import empty_al, make_al, unit_summary
+
+
+@pytest.fixture
+def spa() -> SimplePaintingAlgorithm:
+    return SimplePaintingAlgorithm(("V1", "V2", "V3"))
+
+
+class TestBasicFlow:
+    def test_row_applies_when_all_lists_arrive(self, spa):
+        assert spa.receive_rel(1, frozenset({"V1", "V2"})) == []
+        assert spa.receive_action_list(make_al("V1", [1])) == []
+        units = spa.receive_action_list(make_al("V2", [1]))
+        assert unit_summary(units) == [((1,), ("V1", "V2"))]
+        assert spa.idle()
+
+    def test_row_irrelevant_to_all_views_purges_silently(self, spa):
+        assert spa.receive_rel(1, frozenset()) == []
+        assert spa.idle()
+
+    def test_empty_action_lists_still_apply(self, spa):
+        spa.receive_rel(1, frozenset({"V1"}))
+        units = spa.receive_action_list(empty_al("V1", [1]))
+        # A no-effect transaction is still emitted so commit ordering and
+        # schedule reconstruction see the row.
+        assert unit_summary(units) == [((1,), ("V1",))]
+
+    def test_al_before_rel_is_held(self, spa):
+        assert spa.receive_action_list(make_al("V1", [1])) == []
+        assert spa.pending_action_lists == 1
+        units = spa.receive_rel(1, frozenset({"V1"}))
+        assert unit_summary(units) == [((1,), ("V1",))]
+        assert spa.pending_action_lists == 0
+
+    def test_same_manager_order_enforced(self, spa):
+        spa.receive_rel(1, frozenset({"V1"}))
+        spa.receive_rel(2, frozenset({"V1"}))
+        spa.receive_action_list(make_al("V1", [2], manager="m1"))
+        with pytest.raises(MergeError, match="overlaps an earlier list"):
+            # Same manager cannot send an earlier update after a later one.
+            spa.receive_action_list(make_al("V1", [1], manager="m1"))
+
+    def test_rels_must_increase(self, spa):
+        spa.receive_rel(2, frozenset({"V1"}))
+        with pytest.raises(MergeError):
+            spa.receive_rel(1, frozenset({"V1"}))
+
+    def test_unknown_view_in_rel(self, spa):
+        with pytest.raises(MergeError):
+            spa.receive_rel(1, frozenset({"Vx"}))
+
+    def test_al_for_black_entry_rejected(self, spa):
+        spa.receive_rel(1, frozenset({"V2"}))
+        with pytest.raises(MergeError, match="expected white"):
+            spa.receive_action_list(make_al("V1", [1]))
+
+    def test_strict_rejects_batched_lists(self, spa):
+        spa.receive_rel(1, frozenset({"V1"}))
+        spa.receive_rel(2, frozenset({"V1"}))
+        with pytest.raises(MergeError, match="Painting Algorithm"):
+            spa.receive_action_list(make_al("V1", [1, 2]))
+
+
+class TestOrdering:
+    def test_blocked_by_earlier_red_in_same_column(self, spa):
+        """Row 2's V1 list cannot apply before row 1's V1 list."""
+        spa.receive_rel(1, frozenset({"V1", "V2"}))
+        spa.receive_rel(2, frozenset({"V1"}))
+        assert spa.receive_action_list(make_al("V1", [1])) == []
+        assert spa.receive_action_list(make_al("V1", [2])) == []
+        # Completing row 1 releases both rows, in order.
+        units = spa.receive_action_list(make_al("V2", [1]))
+        assert unit_summary(units) == [((1,), ("V1", "V2")), ((2,), ("V1",))]
+
+    def test_independent_later_row_applies_first(self, spa):
+        """Example 3's t5 behaviour: disjoint rows apply out of order."""
+        spa.receive_rel(1, frozenset({"V1", "V2"}))
+        spa.receive_rel(2, frozenset({"V3"}))
+        units = spa.receive_action_list(make_al("V3", [2]))
+        assert unit_summary(units) == [((2,), ("V3",))]
+        assert not spa.idle()  # row 1 still waiting
+
+    def test_cascade_through_multiple_rows(self, spa):
+        """Unblocking row 1 releases the whole same-column backlog in order.
+
+        V1's lists arrive in order (FIFO) but row 1 is additionally blocked
+        on V2; once V2's list lands, rows 1, 2, 3 cascade.
+        """
+        spa.receive_rel(1, frozenset({"V1", "V2"}))
+        spa.receive_rel(2, frozenset({"V1"}))
+        spa.receive_rel(3, frozenset({"V1"}))
+        assert spa.receive_action_list(make_al("V1", [1])) == []
+        assert spa.receive_action_list(make_al("V1", [2])) == []
+        assert spa.receive_action_list(make_al("V1", [3])) == []
+        units = spa.receive_action_list(make_al("V2", [1]))
+        assert [u.rows for u in units] == [(1,), (2,), (3,)]
+        assert spa.idle()
+
+
+class TestPaperExample3:
+    """The exact receipt order of Example 3, times t0..t11."""
+
+    def test_full_trace(self):
+        spa = SimplePaintingAlgorithm(("V1", "V2", "V3"))
+        emitted = {}
+        emitted["REL1"] = spa.receive_rel(1, frozenset({"V1", "V2"}))
+        emitted["AL21"] = spa.receive_action_list(make_al("V2", [1]))
+        emitted["REL2"] = spa.receive_rel(2, frozenset({"V3"}))
+        emitted["REL3"] = spa.receive_rel(3, frozenset({"V2"}))
+        emitted["AL32"] = spa.receive_action_list(make_al("V3", [2]))
+        emitted["AL23"] = spa.receive_action_list(make_al("V2", [3]))
+        emitted["AL11"] = spa.receive_action_list(make_al("V1", [1]))
+
+        # t5: WT2 applied as soon as AL32 arrives (rows disjoint from 1).
+        assert unit_summary(emitted["AL32"]) == [((2,), ("V3",))]
+        # AL23 must wait: row 1's V2 list is still unapplied (red above).
+        assert emitted["AL23"] == []
+        # t9/t10: AL11 releases row 1, then row 3 cascades.
+        assert unit_summary(emitted["AL11"]) == [
+            ((1,), ("V1", "V2")),
+            ((3,), ("V2",)),
+        ]
+        # t11: everything purged.
+        assert spa.idle()
+        assert len(spa.vut) == 0
+
+    def test_vut_colors_mid_trace(self):
+        """At t4 (after AL32): row1 has w/r/b, row2 has b/b/r."""
+        spa = SimplePaintingAlgorithm(("V1", "V2", "V3"))
+        spa.receive_rel(1, frozenset({"V1", "V2"}))
+        spa.receive_action_list(make_al("V2", [1]))
+        spa.receive_rel(2, frozenset({"V3"}))
+        spa.receive_rel(3, frozenset({"V2"}))
+        assert spa.vut.color(1, "V1") is Color.WHITE
+        assert spa.vut.color(1, "V2") is Color.RED
+        assert spa.vut.color(1, "V3") is Color.BLACK
+        assert spa.vut.color(2, "V3") is Color.WHITE
+        assert spa.vut.color(3, "V2") is Color.WHITE
+
+
+class TestPaperExample4:
+    """Non-strict SPA reproduces the incorrect behaviour PA exists to fix."""
+
+    def test_spa_applies_row_without_batched_actions(self):
+        spa = SimplePaintingAlgorithm(("V1", "V2", "V3"), strict=False)
+        spa.receive_rel(1, frozenset({"V1", "V2"}))
+        spa.receive_rel(2, frozenset({"V2", "V3"}))
+        spa.receive_rel(3, frozenset({"V1", "V2"}))
+        # A strongly consistent V1 manager batches U1 and U3 into AL13.
+        assert spa.receive_action_list(make_al("V1", [1, 3])) == []
+        # Now all other per-update lists for U1 and U2 arrive.
+        units = []
+        units += spa.receive_action_list(make_al("V2", [1]))
+        units += spa.receive_action_list(make_al("V2", [2]))
+        units += spa.receive_action_list(make_al("V3", [2]))
+        # SPA wrongly applies row 1 WITHOUT V1's (batched) actions: the
+        # transaction for row 1 contains only V2's list.
+        row1_units = [u for u in units if u.rows == (1,)]
+        assert row1_units, "naive SPA applied row 1"
+        assert tuple(al.view for al in row1_units[0].action_lists) == ("V2",)
+
+
+class TestStatistics:
+    def test_counters(self, spa):
+        spa.receive_rel(1, frozenset({"V1"}))
+        spa.receive_action_list(make_al("V1", [1]))
+        assert spa.rels_received == 1
+        assert spa.als_received == 1
+        assert spa.units_emitted == 1

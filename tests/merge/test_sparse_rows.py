@@ -1,0 +1,68 @@
+"""Sparse VUT rows: what a distributed merge process actually sees.
+
+A merge process owning one §6.1 view group receives RELs only for updates
+relevant to its group, so its row ids have gaps (global numbering, sparse
+subset).  Both algorithms must order, cascade and purge correctly over
+those gaps.
+"""
+
+from repro.merge.pa import PaintingAlgorithm
+from repro.merge.spa import SimplePaintingAlgorithm
+
+from tests.conftest import make_al, unit_summary
+
+
+class TestSpaSparse:
+    def test_gapped_rows_apply_in_order(self):
+        spa = SimplePaintingAlgorithm(("V1",))
+        for row in (5, 9, 12):
+            spa.receive_rel(row, frozenset({"V1"}))
+        assert spa.receive_action_list(make_al("V1", [5])) != []
+        assert spa.receive_action_list(make_al("V1", [9])) != []
+        units = spa.receive_action_list(make_al("V1", [12]))
+        assert unit_summary(units) == [((12,), ("V1",))]
+        assert spa.idle()
+
+    def test_gapped_cascade(self):
+        spa = SimplePaintingAlgorithm(("V1", "V2"))
+        spa.receive_rel(3, frozenset({"V1", "V2"}))
+        spa.receive_rel(8, frozenset({"V1"}))
+        spa.receive_rel(21, frozenset({"V1"}))
+        assert spa.receive_action_list(make_al("V1", [3])) == []
+        assert spa.receive_action_list(make_al("V1", [8])) == []
+        assert spa.receive_action_list(make_al("V1", [21])) == []
+        units = spa.receive_action_list(make_al("V2", [3]))
+        assert [u.rows for u in units] == [(3,), (8,), (21,)]
+
+    def test_pending_al_released_by_gapped_rel(self):
+        spa = SimplePaintingAlgorithm(("V1",))
+        # AL for update 7 arrives before any REL; REL stream has gaps.
+        assert spa.receive_action_list(make_al("V1", [7])) == []
+        assert spa.pending_action_lists == 1
+        units = spa.receive_rel(7, frozenset({"V1"}))
+        assert unit_summary(units) == [((7,), ("V1",))]
+
+
+class TestPaSparse:
+    def test_gapped_batch(self):
+        pa = PaintingAlgorithm(("V1",))
+        for row in (4, 11, 30):
+            pa.receive_rel(row, frozenset({"V1"}))
+        units = pa.receive_action_list(make_al("V1", [4, 11, 30]))
+        assert unit_summary(units) == [((4, 11, 30), ("V1",))]
+        assert pa.idle()
+
+    def test_gapped_group_closure(self):
+        pa = PaintingAlgorithm(("V1", "V2"))
+        pa.receive_rel(10, frozenset({"V1", "V2"}))
+        pa.receive_rel(20, frozenset({"V1"}))
+        assert pa.receive_action_list(make_al("V1", [10, 20])) == []
+        units = pa.receive_action_list(make_al("V2", [10]))
+        assert [u.rows for u in units] == [(10, 20)]
+
+    def test_state_pointers_across_gaps(self):
+        pa = PaintingAlgorithm(("V1",))
+        pa.receive_rel(100, frozenset({"V1"}))
+        pa.receive_rel(205, frozenset({"V1"}))
+        pa.receive_action_list(make_al("V1", [100, 205]))
+        assert pa.idle()

@@ -1,0 +1,160 @@
+"""Tests for the §4.3 submission policies."""
+
+import pytest
+
+from repro.errors import MergeError
+from repro.merge.submission import (
+    BatchingPolicy,
+    DbmsDependencyPolicy,
+    DependencySequencedPolicy,
+    EagerPolicy,
+    SequentialPolicy,
+)
+from repro.relational.delta import Delta
+from repro.relational.rows import Row
+from repro.viewmgr.actions import ActionList
+from repro.warehouse.txn import WarehouseTransaction
+
+
+def make_txn(txn_id: int, views: tuple[str, ...], row: int) -> WarehouseTransaction:
+    lists = tuple(
+        ActionList.from_delta(v, v, (row,), Delta.insert(Row(x=txn_id)))
+        for v in views
+    )
+    return WarehouseTransaction(txn_id, "merge", lists, (row,))
+
+
+class Harness:
+    """Captures submissions; drives commits manually."""
+
+    def __init__(self, policy):
+        self.policy = policy
+        self.sent = []
+        self._ids = iter(range(100, 200))
+        policy.bind(self.sent.append, lambda: next(self._ids))
+
+    def commit(self, txn_id):
+        self.policy.on_commit(txn_id)
+
+    @property
+    def sent_ids(self):
+        return [m.txn.txn_id for m in self.sent]
+
+
+class TestEager:
+    def test_submits_immediately(self):
+        h = Harness(EagerPolicy())
+        h.policy.offer(make_txn(1, ("V1",), 1))
+        h.policy.offer(make_txn(2, ("V1",), 2))
+        assert h.sent_ids == [1, 2]
+        assert h.sent[0].sequenced_after == ()
+
+    def test_unbound_policy_raises(self):
+        with pytest.raises(MergeError, match="never bound"):
+            EagerPolicy().offer(make_txn(1, ("V1",), 1))
+
+
+class TestSequential:
+    def test_one_outstanding_at_a_time(self):
+        h = Harness(SequentialPolicy())
+        h.policy.offer(make_txn(1, ("V1",), 1))
+        h.policy.offer(make_txn(2, ("V2",), 2))
+        assert h.sent_ids == [1]
+        assert h.policy.pending == 1
+        h.commit(1)
+        assert h.sent_ids == [1, 2]
+
+    def test_commit_of_unknown_txn_is_ignored(self):
+        h = Harness(SequentialPolicy())
+        h.policy.offer(make_txn(1, ("V1",), 1))
+        h.commit(999)
+        assert h.sent_ids == [1]
+
+
+class TestDependencySequenced:
+    def test_independent_txns_overlap(self):
+        h = Harness(DependencySequencedPolicy())
+        h.policy.offer(make_txn(1, ("V1",), 1))
+        h.policy.offer(make_txn(2, ("V2",), 2))
+        assert h.sent_ids == [1, 2]
+
+    def test_dependent_txn_waits(self):
+        h = Harness(DependencySequencedPolicy())
+        h.policy.offer(make_txn(1, ("V1", "V2"), 1))
+        h.policy.offer(make_txn(2, ("V2",), 2))
+        assert h.sent_ids == [1]
+        h.commit(1)
+        assert h.sent_ids == [1, 2]
+
+    def test_queued_dependents_keep_order(self):
+        h = Harness(DependencySequencedPolicy())
+        h.policy.offer(make_txn(1, ("V1",), 1))
+        h.policy.offer(make_txn(2, ("V1",), 2))
+        h.policy.offer(make_txn(3, ("V1",), 3))
+        assert h.sent_ids == [1]
+        h.commit(1)
+        assert h.sent_ids == [1, 2]
+        h.commit(2)
+        assert h.sent_ids == [1, 2, 3]
+
+    def test_independent_jumps_past_blocked(self):
+        h = Harness(DependencySequencedPolicy())
+        h.policy.offer(make_txn(1, ("V1",), 1))
+        h.policy.offer(make_txn(2, ("V1",), 2))  # blocked on 1
+        h.policy.offer(make_txn(3, ("V3",), 3))  # independent
+        assert h.sent_ids == [1, 3]
+
+
+class TestDbmsDependency:
+    def test_annotates_dependencies(self):
+        h = Harness(DbmsDependencyPolicy())
+        h.policy.offer(make_txn(1, ("V1",), 1))
+        h.policy.offer(make_txn(2, ("V1", "V2"), 2))
+        h.policy.offer(make_txn(3, ("V2",), 3))
+        assert h.sent_ids == [1, 2, 3]
+        assert h.sent[0].sequenced_after == ()
+        assert h.sent[1].sequenced_after == (1,)
+        assert h.sent[2].sequenced_after == (2,)
+
+    def test_committed_deps_not_listed(self):
+        h = Harness(DbmsDependencyPolicy())
+        h.policy.offer(make_txn(1, ("V1",), 1))
+        h.commit(1)
+        h.policy.offer(make_txn(2, ("V1",), 2))
+        assert h.sent[1].sequenced_after == ()
+
+
+class TestBatching:
+    def test_batches_of_configured_size(self):
+        h = Harness(BatchingPolicy(batch_size=2))
+        h.policy.offer(make_txn(1, ("V1",), 1))
+        assert h.sent == []
+        h.policy.offer(make_txn(2, ("V2",), 2))
+        assert len(h.sent) == 1
+        bwt = h.sent[0].txn
+        assert bwt.covered_rows == (1, 2)
+        assert bwt.is_batch
+        assert bwt.txn_id == 100  # freshly allocated id
+
+    def test_flush_releases_partial_batch(self):
+        h = Harness(BatchingPolicy(batch_size=10))
+        h.policy.offer(make_txn(1, ("V1",), 1))
+        h.policy.flush()
+        assert len(h.sent) == 1
+        assert h.policy.pending == 0
+
+    def test_inner_policy_sequences_batches(self):
+        h = Harness(BatchingPolicy(batch_size=1))
+        h.policy.offer(make_txn(1, ("V1",), 1))
+        h.policy.offer(make_txn(2, ("V1",), 2))
+        assert len(h.sent) == 1  # second batch waits for first commit
+        h.commit(h.sent[0].txn.txn_id)
+        assert len(h.sent) == 2
+
+    def test_does_not_preserve_completeness(self):
+        assert not BatchingPolicy().preserves_completeness
+        assert SequentialPolicy().preserves_completeness
+
+    def test_bad_batch_size(self):
+        with pytest.raises(MergeError):
+            BatchingPolicy(batch_size=0)

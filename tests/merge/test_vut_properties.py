@@ -1,0 +1,88 @@
+"""Property tests for ViewUpdateTable invariants.
+
+Driven through random legal operation sequences, the table must maintain:
+
+* colors only move white -> red -> gray (black never changes);
+* a row is purgeable iff no white/red entries remain;
+* ``next_red`` always returns the minimal red row strictly below;
+* ``white_rows_through`` is exactly the white subset at or below a row.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.merge.vut import Color, ViewUpdateTable
+
+VIEWS = ("V1", "V2", "V3")
+
+
+@st.composite
+def operation_sequences(draw):
+    """Rows with relevance patterns plus a legal color schedule."""
+    n = draw(st.integers(min_value=1, max_value=6))
+    rows = []
+    for i in range(n):
+        relevant = frozenset(v for v in VIEWS if draw(st.booleans()))
+        rows.append((i + 1, relevant))
+    # For each white entry decide how far it advances: 0=white, 1=red, 2=gray.
+    advance = {
+        (row, view): draw(st.integers(min_value=0, max_value=2))
+        for row, relevant in rows
+        for view in relevant
+    }
+    return rows, advance
+
+
+@given(scenario=operation_sequences())
+@settings(max_examples=150, deadline=None)
+def test_color_lifecycle_and_queries(scenario):
+    rows, advance = scenario
+    vut = ViewUpdateTable(VIEWS)
+    for row, relevant in rows:
+        vut.allocate_row(row, relevant)
+    for (row, view), steps in advance.items():
+        if steps >= 1:
+            assert vut.color(row, view) is Color.WHITE
+            vut.set_color(row, view, Color.RED)
+        if steps >= 2:
+            vut.set_color(row, view, Color.GRAY)
+
+    for row, relevant in rows:
+        # Black entries never change.
+        for view in VIEWS:
+            if view not in relevant:
+                assert vut.color(row, view) is Color.BLACK
+        # Purgeability is exactly "no whites or reds".
+        active = any(
+            vut.color(row, view) in (Color.WHITE, Color.RED)
+            for view in relevant
+        )
+        assert vut.purgeable(row) == (not active)
+
+    # next_red: minimal red strictly below.
+    for row, _relevant in rows:
+        for view in VIEWS:
+            reds_below = [
+                r
+                for r, rel in rows
+                if r > row and view in rel and vut.color(r, view) is Color.RED
+            ]
+            expected = min(reds_below) if reds_below else 0
+            assert vut.next_red(row, view) == expected
+
+    # white_rows_through: exact white subsets.
+    last_row = rows[-1][0]
+    for view in VIEWS:
+        whites = tuple(
+            r
+            for r, rel in rows
+            if view in rel and vut.color(r, view) is Color.WHITE
+        )
+        assert vut.white_rows_through(last_row, view) == whites
+
+    # purge_completed removes exactly the purgeable rows.
+    purgeable = {r for r, _ in rows if vut.purgeable(r)}
+    purged = set(vut.purge_completed())
+    assert purged == purgeable
+    assert set(vut.row_ids) == {r for r, _ in rows} - purgeable

@@ -1,0 +1,269 @@
+"""Tests for aggregate views: evaluation, deltas, parsing, rendering."""
+
+import pytest
+
+from repro.errors import ExpressionError, ParseError
+from repro.relational.algebra import evaluate
+from repro.relational.database import Database
+from repro.relational.delta import Delta, propagate_delta
+from repro.relational.expressions import Aggregate, AggregateSpec, BaseRelation, Join
+from repro.relational.parser import parse_view
+from repro.relational.render import to_sql
+from repro.relational.rows import Row
+from repro.relational.schema import Attribute, AttrType, Schema
+
+
+def sales_db() -> Database:
+    db = Database()
+    db.create_relation(
+        "Sales",
+        Schema(["region", "qty"]),
+        [
+            Row(region=1, qty=10),
+            Row(region=1, qty=5),
+            Row(region=2, qty=7),
+        ],
+    )
+    return db
+
+
+TOTALS = Aggregate(
+    ("region",),
+    (AggregateSpec("count", "n"), AggregateSpec("sum", "total", "qty")),
+    BaseRelation("Sales"),
+)
+
+
+class TestSpecValidation:
+    def test_unknown_function(self):
+        with pytest.raises(ExpressionError):
+            AggregateSpec("avg", "a", "x")
+
+    def test_sum_needs_attr(self):
+        with pytest.raises(ExpressionError):
+            AggregateSpec("sum", "a")
+
+    def test_count_takes_no_attr(self):
+        with pytest.raises(ExpressionError):
+            AggregateSpec("count", "a", "x")
+
+    def test_needs_aggregates(self):
+        with pytest.raises(ExpressionError):
+            Aggregate(("g",), (), BaseRelation("Sales"))
+
+    def test_duplicate_output_columns(self):
+        with pytest.raises(ExpressionError):
+            Aggregate(
+                ("region",),
+                (AggregateSpec("count", "region"),),
+                BaseRelation("Sales"),
+            )
+
+
+class TestSchema:
+    def test_output_schema(self):
+        schema = TOTALS.infer_schema({"Sales": Schema(["region", "qty"])})
+        assert schema.names == ("region", "n", "total")
+        assert schema["n"].type is AttrType.INT
+
+    def test_sum_over_float(self):
+        schemas = {
+            "M": Schema([Attribute("g"), Attribute("x", AttrType.FLOAT)])
+        }
+        agg = Aggregate(("g",), (AggregateSpec("sum", "s", "x"),), BaseRelation("M"))
+        assert agg.infer_schema(schemas)["s"].type is AttrType.FLOAT
+
+    def test_sum_over_string_rejected(self):
+        schemas = {"M": Schema([Attribute("g"), Attribute("x", AttrType.STR)])}
+        agg = Aggregate(("g",), (AggregateSpec("sum", "s", "x"),), BaseRelation("M"))
+        with pytest.raises(ExpressionError, match="numeric"):
+            agg.infer_schema(schemas)
+
+    def test_unknown_group_by(self):
+        agg = Aggregate(("z",), (AggregateSpec("count", "n"),), BaseRelation("Sales"))
+        with pytest.raises(ExpressionError):
+            agg.infer_schema({"Sales": Schema(["region", "qty"])})
+
+
+class TestEvaluation:
+    def test_group_by(self):
+        result = evaluate(TOTALS, sales_db())
+        assert sorted(result, key=lambda r: r["region"]) == [
+            Row(region=1, n=2, total=15),
+            Row(region=2, n=1, total=7),
+        ]
+
+    def test_multiplicities_counted(self):
+        db = Database()
+        db.create_relation("Sales", Schema(["region", "qty"]))
+        db.relation("Sales").insert(Row(region=1, qty=3), count=4)
+        result = evaluate(TOTALS, db)
+        assert result.sorted_rows() == [Row(region=1, n=4, total=12)]
+
+    def test_global_aggregate_over_empty_is_empty(self):
+        db = Database()
+        db.create_relation("Sales", Schema(["region", "qty"]))
+        agg = Aggregate((), (AggregateSpec("count", "n"),), BaseRelation("Sales"))
+        assert len(evaluate(agg, db)) == 0
+
+    def test_aggregate_over_join(self):
+        db = sales_db()
+        db.create_relation("Region", Schema(["region", "zone"]),
+                           [Row(region=1, zone=9), Row(region=2, zone=9)])
+        agg = Aggregate(
+            ("zone",),
+            (AggregateSpec("sum", "total", "qty"),),
+            Join(BaseRelation("Sales"), BaseRelation("Region")),
+        )
+        assert evaluate(agg, db).sorted_rows() == [Row(zone=9, total=22)]
+
+
+class TestDeltas:
+    def _check(self, deltas):
+        db = sales_db()
+        before = evaluate(TOTALS, db)
+        view_delta = propagate_delta(TOTALS, db, deltas)
+        db.apply_deltas(deltas)
+        after = evaluate(TOTALS, db)
+        materialized = before.copy()
+        view_delta.apply_to(materialized)
+        assert materialized == after
+        return view_delta
+
+    def test_insert_into_existing_group(self):
+        delta = self._check({"Sales": Delta.insert(Row(region=1, qty=1))})
+        assert delta.count(Row(region=1, n=2, total=15)) == -1
+        assert delta.count(Row(region=1, n=3, total=16)) == 1
+
+    def test_group_birth(self):
+        delta = self._check({"Sales": Delta.insert(Row(region=5, qty=2))})
+        assert delta.count(Row(region=5, n=1, total=2)) == 1
+
+    def test_group_death(self):
+        delta = self._check({"Sales": Delta.delete(Row(region=2, qty=7))})
+        assert delta.count(Row(region=2, n=1, total=7)) == -1
+        assert len(delta) == 1
+
+    def test_value_change_same_count(self):
+        delta = self._check(
+            {"Sales": Delta.modify(Row(region=2, qty=7), Row(region=2, qty=9))}
+        )
+        assert delta.count(Row(region=2, n=1, total=7)) == -1
+        assert delta.count(Row(region=2, n=1, total=9)) == 1
+
+    def test_untouched_groups_absent_from_delta(self):
+        delta = self._check({"Sales": Delta.insert(Row(region=2, qty=1))})
+        assert all(row["region"] == 2 for row in delta.counts())
+
+    def test_empty_delta(self):
+        delta = propagate_delta(TOTALS, sales_db(), {})
+        assert delta.is_empty()
+
+
+class TestParsing:
+    def test_group_by_query(self):
+        view = parse_view(
+            "T = SELECT region, count(*) AS n, sum(qty) AS total "
+            "FROM Sales GROUP BY region"
+        )
+        assert view.expression == TOTALS
+
+    def test_implicit_group_by(self):
+        view = parse_view("T = SELECT region, count(*) AS n FROM Sales")
+        assert isinstance(view.expression, Aggregate)
+        assert view.expression.group_by == ("region",)
+
+    def test_default_aliases(self):
+        view = parse_view("T = SELECT region, count(*), sum(qty) FROM Sales")
+        aliases = [a.alias for a in view.expression.aggregates]
+        assert aliases == ["count", "sum_qty"]
+
+    def test_interleaved_select_list_reorders_with_project(self):
+        view = parse_view(
+            "T = SELECT sum(qty) AS total, region FROM Sales GROUP BY region"
+        )
+        from repro.relational.expressions import Project
+
+        assert isinstance(view.expression, Project)
+        assert view.expression.names == ("total", "region")
+
+    def test_where_applies_below_aggregation(self):
+        view = parse_view(
+            "T = SELECT region, sum(qty) AS total FROM Sales "
+            "WHERE qty >= 6 GROUP BY region"
+        )
+        result = evaluate(view.expression, sales_db())
+        assert result.sorted_rows() == [
+            Row(region=1, total=10),
+            Row(region=2, total=7),
+        ]
+
+    def test_group_by_mismatch_rejected(self):
+        with pytest.raises(ParseError, match="must match"):
+            parse_view(
+                "T = SELECT region, count(*) AS n FROM Sales GROUP BY qty"
+            )
+
+    def test_group_by_without_aggregates_rejected(self):
+        with pytest.raises(ParseError):
+            parse_view("T = SELECT region FROM Sales GROUP BY region")
+
+    def test_group_by_with_star_rejected(self):
+        with pytest.raises(ParseError):
+            parse_view("T = SELECT * FROM Sales GROUP BY region")
+
+
+class TestHaving:
+    def test_having_filters_groups(self):
+        view = parse_view(
+            "T = SELECT region, count(*) AS n FROM Sales "
+            "GROUP BY region HAVING n >= 2"
+        )
+        result = evaluate(view.expression, sales_db())
+        assert result.sorted_rows() == [Row(n=2, region=1)]
+
+    def test_having_requires_group_by(self):
+        with pytest.raises(ParseError, match="GROUP BY"):
+            parse_view("T = SELECT region, count(*) AS n FROM Sales HAVING n >= 2")
+
+    def test_having_round_trips(self):
+        text = ("T = SELECT region, sum(qty) AS total FROM Sales "
+                "GROUP BY region HAVING total > 10")
+        view = parse_view(text)
+        assert parse_view(to_sql(view)) == view
+
+    def test_having_incremental_maintenance(self):
+        view = parse_view(
+            "T = SELECT region, count(*) AS n FROM Sales "
+            "GROUP BY region HAVING n >= 2"
+        )
+        db = sales_db()
+        before = evaluate(view.expression, db)
+        deltas = {"Sales": Delta.insert(Row(region=2, qty=1))}
+        delta = propagate_delta(view.expression, db, deltas)
+        db.apply_deltas(deltas)
+        after = evaluate(view.expression, db)
+        materialized = before.copy()
+        delta.apply_to(materialized)
+        assert materialized == after
+        # Region 2 just crossed the HAVING threshold: it appears.
+        assert Row(region=2, n=2) in after
+
+    def test_having_with_reordered_select_list(self):
+        view = parse_view(
+            "T = SELECT sum(qty) AS total, region FROM Sales "
+            "GROUP BY region HAVING total >= 15"
+        )
+        result = evaluate(view.expression, sales_db())
+        assert result.sorted_rows() == [Row(region=1, total=15)]
+
+
+class TestRendering:
+    def test_round_trip(self):
+        text = (
+            "T = SELECT region, count(*) AS n, sum(qty) AS total "
+            "FROM Sales WHERE qty >= 2 GROUP BY region"
+        )
+        view = parse_view(text)
+        again = parse_view(to_sql(view))
+        assert again == view

@@ -1,0 +1,97 @@
+"""Tests for full expression evaluation."""
+
+import pytest
+
+from repro.relational.algebra import evaluate, join_counts
+from repro.relational.database import Database
+from repro.relational.expressions import BaseRelation, Join, Project, Select
+from repro.relational.parser import parse_view
+from repro.relational.predicates import compare, eq
+from repro.relational.rows import Row
+from repro.relational.schema import Schema
+
+
+@pytest.fixture
+def db() -> Database:
+    db = Database()
+    db.create_relation(
+        "R", Schema(["A", "B"]), [Row(A=1, B=2), Row(A=7, B=2), Row(A=9, B=5)]
+    )
+    db.create_relation("S", Schema(["B", "C"]), [Row(B=2, C=3), Row(B=5, C=6)])
+    return db
+
+
+class TestEvaluate:
+    def test_base(self, db):
+        assert len(evaluate(BaseRelation("R"), db)) == 3
+
+    def test_select(self, db):
+        result = evaluate(Select(eq("B", 2), BaseRelation("R")), db)
+        assert result.sorted_rows() == [Row(A=1, B=2), Row(A=7, B=2)]
+
+    def test_project_preserves_duplicates(self, db):
+        result = evaluate(Project(("B",), BaseRelation("R")), db)
+        assert result.sorted_rows() == [Row(B=2), Row(B=2), Row(B=5)]
+
+    def test_natural_join(self, db):
+        result = evaluate(Join(BaseRelation("R"), BaseRelation("S")), db)
+        assert result.sorted_rows() == [
+            Row(A=1, B=2, C=3),
+            Row(A=7, B=2, C=3),
+            Row(A=9, B=5, C=6),
+        ]
+
+    def test_join_multiplicity_multiplies(self):
+        db = Database()
+        db.create_relation("L", Schema(["k"]), [Row(k=1), Row(k=1)])
+        db.create_relation("Rt", Schema(["k"]), [Row(k=1), Row(k=1), Row(k=1)])
+        result = evaluate(Join(BaseRelation("L"), BaseRelation("Rt")), db)
+        assert len(result) == 6
+
+    def test_cross_product(self, db):
+        db2 = Database()
+        db2.create_relation("X", Schema(["x"]), [Row(x=1), Row(x=2)])
+        db2.create_relation("Y", Schema(["y"]), [Row(y=10)])
+        result = evaluate(Join(BaseRelation("X"), BaseRelation("Y")), db2)
+        assert result.sorted_rows() == [Row(x=1, y=10), Row(x=2, y=10)]
+
+    def test_composite_query(self, db):
+        view = parse_view("V = SELECT A, C FROM R JOIN S WHERE A >= 7")
+        result = evaluate(view.expression, db)
+        assert result.sorted_rows() == [Row(A=7, C=3), Row(A=9, C=6)]
+
+    def test_empty_operand_yields_empty_join(self, db):
+        db.create_relation("E", Schema(["B", "Z"]))
+        result = evaluate(Join(BaseRelation("R"), BaseRelation("E")), db)
+        assert not result
+
+    def test_result_schema(self, db):
+        result = evaluate(Join(BaseRelation("R"), BaseRelation("S")), db)
+        assert result.schema is not None
+        assert result.schema.names == ("A", "B", "C")
+
+    def test_evaluate_on_snapshot(self, db):
+        snapshot = db.snapshot()
+        result = evaluate(Select(compare("A", ">", 5), BaseRelation("R")), snapshot)
+        assert len(result) == 2
+
+
+class TestJoinCounts:
+    def test_signed_counts_multiply(self):
+        left = {Row(k=1, a=1): -1}
+        right = {Row(k=1, b=1): 2}
+        out = join_counts(left, right, ("k",))
+        assert out == {Row(k=1, a=1, b=1): -2}
+
+    def test_zero_products_dropped(self):
+        left = {Row(k=1): 1, Row(k=2): 1}
+        right = {Row(k=3): 5}
+        assert join_counts(left, right, ("k",)) == {}
+
+    def test_build_side_choice_does_not_change_result(self):
+        small = {Row(k=1, a=1): 2}
+        large = {Row(k=1, b=i): 1 for i in range(5)}
+        forward = join_counts(small, large, ("k",))
+        backward = join_counts(large, small, ("k",))
+        assert forward == backward
+        assert sum(forward.values()) == 10

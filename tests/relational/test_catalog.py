@@ -1,0 +1,60 @@
+"""Tests for view catalogs."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.relational.catalog import (
+    dump_views,
+    load_views,
+    parse_catalog,
+    save_views,
+)
+from repro.relational.parser import parse_view
+
+
+CATALOG = """
+# the Table-1 views
+V1 = SELECT * FROM R JOIN S      # join view
+V2 = SELECT * FROM S JOIN T
+
+V3 = SELECT B, count(*) AS n FROM S GROUP BY B
+"""
+
+
+class TestParse:
+    def test_parses_definitions_skipping_comments(self):
+        views = parse_catalog(CATALOG)
+        assert [v.name for v in views] == ["V1", "V2", "V3"]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ParseError, match="duplicate"):
+            parse_catalog("A = SELECT * FROM R\nA = SELECT * FROM S\n")
+
+    def test_bad_line_reports_line_number(self):
+        with pytest.raises(ParseError, match="line 2"):
+            parse_catalog("A = SELECT * FROM R\nB = FROM nonsense\n")
+
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(ParseError, match="no view"):
+            parse_catalog("# only comments\n\n")
+
+
+class TestRoundTrip:
+    def test_dump_and_parse(self):
+        views = parse_catalog(CATALOG)
+        text = dump_views(views, header="regenerated")
+        again = parse_catalog(text)
+        assert again == views
+        assert text.startswith("# regenerated")
+
+    def test_save_and_load(self, tmp_path):
+        views = parse_catalog(CATALOG)
+        path = tmp_path / "views.cat"
+        save_views(views, path)
+        assert load_views(path) == views
+
+    def test_single_view_round_trip(self, tmp_path):
+        view = parse_view("Hot = SELECT a FROM R WHERE a >= 3")
+        path = tmp_path / "one.cat"
+        save_views([view], path)
+        assert load_views(path) == [view]

@@ -1,0 +1,113 @@
+"""Tests for relational expressions and schema inference."""
+
+import pytest
+
+from repro.errors import ExpressionError
+from repro.relational.expressions import (
+    BaseRelation,
+    Join,
+    Project,
+    Select,
+    ViewDefinition,
+    join_all,
+)
+from repro.relational.predicates import eq
+from repro.relational.schema import Schema
+
+SCHEMAS = {
+    "R": Schema(["A", "B"]),
+    "S": Schema(["B", "C"]),
+    "T": Schema(["C", "D"]),
+}
+
+
+class TestBaseRelation:
+    def test_base_relations(self):
+        assert BaseRelation("R").base_relations() == frozenset({"R"})
+
+    def test_schema(self):
+        assert BaseRelation("R").infer_schema(SCHEMAS).names == ("A", "B")
+
+    def test_unknown_relation(self):
+        with pytest.raises(ExpressionError):
+            BaseRelation("Z").infer_schema(SCHEMAS)
+
+
+class TestSelect:
+    def test_schema_passthrough(self):
+        expr = Select(eq("A", 1), BaseRelation("R"))
+        assert expr.infer_schema(SCHEMAS).names == ("A", "B")
+
+    def test_unknown_predicate_attribute(self):
+        expr = Select(eq("Z", 1), BaseRelation("R"))
+        with pytest.raises(ExpressionError, match="Z"):
+            expr.infer_schema(SCHEMAS)
+
+    def test_base_relations_pass_through(self):
+        expr = Select(eq("A", 1), BaseRelation("R"))
+        assert expr.base_relations() == frozenset({"R"})
+
+
+class TestProject:
+    def test_schema_projection(self):
+        expr = Project(("B",), BaseRelation("R"))
+        assert expr.infer_schema(SCHEMAS).names == ("B",)
+
+    def test_empty_projection_rejected(self):
+        with pytest.raises(ExpressionError):
+            Project((), BaseRelation("R"))
+
+    def test_duplicate_projection_rejected(self):
+        with pytest.raises(ExpressionError):
+            Project(("A", "A"), BaseRelation("R"))
+
+    def test_unknown_projection_attribute(self):
+        with pytest.raises(ExpressionError):
+            Project(("Z",), BaseRelation("R")).infer_schema(SCHEMAS)
+
+
+class TestJoin:
+    def test_natural_join_attributes(self):
+        expr = Join(BaseRelation("R"), BaseRelation("S"))
+        assert expr.join_attributes(SCHEMAS) == ("B",)
+        assert expr.infer_schema(SCHEMAS).names == ("A", "B", "C")
+
+    def test_explicit_join_attributes(self):
+        expr = Join(BaseRelation("R"), BaseRelation("S"), on=("B",))
+        assert expr.join_attributes(SCHEMAS) == ("B",)
+
+    def test_explicit_join_missing_attribute(self):
+        expr = Join(BaseRelation("R"), BaseRelation("S"), on=("Z",))
+        with pytest.raises(ExpressionError):
+            expr.join_attributes(SCHEMAS)
+
+    def test_cross_product_when_no_shared_names(self):
+        expr = Join(BaseRelation("R"), BaseRelation("T"))
+        assert expr.join_attributes(SCHEMAS) == ()
+        assert expr.infer_schema(SCHEMAS).names == ("A", "B", "C", "D")
+
+    def test_base_relations_union(self):
+        expr = Join(BaseRelation("R"), BaseRelation("S"))
+        assert expr.base_relations() == frozenset({"R", "S"})
+
+    def test_join_all_left_deep(self):
+        expr = join_all(BaseRelation("R"), BaseRelation("S"), BaseRelation("T"))
+        assert expr.infer_schema(SCHEMAS).names == ("A", "B", "C", "D")
+
+    def test_join_all_empty_rejected(self):
+        with pytest.raises(ExpressionError):
+            join_all()
+
+
+class TestViewDefinition:
+    def test_name_validation(self):
+        with pytest.raises(ExpressionError):
+            ViewDefinition("bad name", BaseRelation("R"))
+
+    def test_base_relations(self):
+        view = ViewDefinition("V", Join(BaseRelation("R"), BaseRelation("S")))
+        assert view.base_relations() == frozenset({"R", "S"})
+
+    def test_str(self):
+        view = ViewDefinition("V", BaseRelation("R"))
+        assert str(view) == "V = R"

@@ -1,0 +1,133 @@
+"""Tests for selection predicates and the irrelevance restriction."""
+
+import pytest
+
+from repro.errors import ExpressionError
+from repro.relational.predicates import (
+    TRUE,
+    And,
+    Attr,
+    Comparison,
+    Const,
+    Not,
+    Or,
+    TruePredicate,
+    compare,
+    eq,
+    satisfiable_on,
+)
+from repro.relational.rows import Row
+
+
+class TestComparison:
+    @pytest.mark.parametrize(
+        "op,expected",
+        [("=", False), ("!=", True), ("<", True), ("<=", True), (">", False),
+         (">=", False)],
+    )
+    def test_operators(self, op, expected):
+        pred = Comparison(Attr("a"), op, Const(5))
+        assert pred.evaluate(Row(a=3)) is expected
+
+    def test_attr_vs_attr(self):
+        assert eq("a", "b").evaluate(Row(a=1, b=1))
+        assert not eq("a", "b").evaluate(Row(a=1, b=2))
+
+    def test_string_literal_via_const(self):
+        pred = Comparison(Attr("name"), "=", Const("x"))
+        assert pred.evaluate(Row(name="x"))
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ExpressionError):
+            Comparison(Attr("a"), "~", Const(1))
+
+    def test_missing_attribute_raises(self):
+        with pytest.raises(ExpressionError):
+            eq("z", 1).evaluate(Row(a=1))
+
+    def test_incomparable_types_raise(self):
+        with pytest.raises(ExpressionError):
+            compare("a", "<", Const("text")).evaluate(Row(a=1))
+
+    def test_attributes(self):
+        assert eq("a", "b").attributes() == frozenset({"a", "b"})
+        assert eq("a", 5).attributes() == frozenset({"a"})
+
+
+class TestCombinators:
+    def test_and_or_not(self):
+        pred = (eq("a", 1) & eq("b", 2)) | ~eq("c", 3)
+        assert pred.evaluate(Row(a=1, b=2, c=3))
+        assert pred.evaluate(Row(a=0, b=0, c=0))
+        assert not pred.evaluate(Row(a=0, b=2, c=3))
+
+    def test_true_predicate(self):
+        assert TRUE.evaluate(Row(a=1))
+        assert TRUE.attributes() == frozenset()
+
+    def test_str_renderings(self):
+        assert "and" in str(eq("a", 1) & eq("b", 2))
+        assert "or" in str(eq("a", 1) | eq("b", 2))
+        assert "not" in str(~eq("a", 1))
+
+
+class TestRestriction:
+    """restrict_to must be a sound weakening (used for irrelevance tests)."""
+
+    def test_fully_covered_comparison_kept(self):
+        pred = eq("a", 1).restrict_to(frozenset({"a"}))
+        assert pred == eq("a", 1)
+
+    def test_uncovered_comparison_weakens_to_true(self):
+        pred = eq("b", 1).restrict_to(frozenset({"a"}))
+        assert isinstance(pred, TruePredicate)
+
+    def test_and_keeps_covered_conjunct(self):
+        pred = (eq("a", 1) & eq("b", 2)).restrict_to(frozenset({"a"}))
+        assert pred == eq("a", 1)
+
+    def test_or_with_uncovered_branch_weakens_fully(self):
+        pred = (eq("a", 1) | eq("b", 2)).restrict_to(frozenset({"a"}))
+        assert isinstance(pred, TruePredicate)
+
+    def test_or_fully_covered_kept(self):
+        original = eq("a", 1) | eq("a", 2)
+        assert original.restrict_to(frozenset({"a"})) == original
+
+    def test_not_kept_only_if_fully_covered(self):
+        assert (~eq("a", 1)).restrict_to(frozenset({"a"})) == ~eq("a", 1)
+        assert isinstance((~eq("b", 1)).restrict_to(frozenset({"a"})), TruePredicate)
+
+    def test_soundness_on_extensions(self):
+        """If the restriction rejects a partial row, no extension passes."""
+        pred = compare("a", ">", 5) & eq("b", 1)
+        restricted = pred.restrict_to(frozenset({"a"}))
+        partial = Row(a=3)
+        assert not restricted.evaluate(partial)
+        for b in range(3):
+            assert not pred.evaluate(Row(a=3, b=b))
+
+    def test_satisfiable_on(self):
+        pred = compare("qty", ">=", 10)
+        assert not satisfiable_on(pred, Row(qty=3), frozenset({"qty"}))
+        assert satisfiable_on(pred, Row(qty=12), frozenset({"qty"}))
+
+    def test_satisfiable_on_foreign_attrs_conservative(self):
+        pred = compare("other", ">=", 10)
+        # Cannot decide on qty alone; must conservatively say satisfiable.
+        assert satisfiable_on(pred, Row(qty=3), frozenset({"qty"}))
+
+
+class TestConvenience:
+    def test_compare_coerces_names_and_values(self):
+        pred = compare("a", "=", 5)
+        assert pred.lhs == Attr("a")
+        assert pred.rhs == Const(5)
+
+    def test_compare_string_identifier_becomes_attr(self):
+        pred = compare("a", "=", "b")
+        assert pred.rhs == Attr("b")
+
+    def test_compare_nonidentifier_string_becomes_const(self):
+        pred = compare("a", "=", "hello world")
+        assert pred.rhs == Const("hello world")

@@ -1,0 +1,84 @@
+"""Tests for SQL rendering and parse/render round-trips."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ExpressionError
+from repro.relational.expressions import BaseRelation, Join, Select
+from repro.relational.parser import parse_view
+from repro.relational.predicates import eq
+from repro.relational.render import render_predicate, to_sql
+
+
+class TestBasics:
+    def test_select_star(self):
+        assert to_sql(parse_view("V = SELECT * FROM R")) == "V = SELECT * FROM R"
+
+    def test_projection_and_where(self):
+        text = "V = SELECT a, b FROM R JOIN S WHERE a >= 5 AND b != 'x'"
+        assert parse_view(to_sql(parse_view(text))) == parse_view(text)
+
+    def test_join_on(self):
+        text = "V = SELECT * FROM R JOIN S ON (B, C)"
+        assert to_sql(parse_view(text)) == text
+
+    def test_string_escaping(self):
+        text = r"V = SELECT * FROM R WHERE name = 'o\'brien'"
+        assert parse_view(to_sql(parse_view(text))) == parse_view(text)
+
+    def test_booleans_and_not(self):
+        text = "V = SELECT * FROM R WHERE NOT (flag = true)"
+        assert parse_view(to_sql(parse_view(text))) == parse_view(text)
+
+    def test_non_canonical_shape_rejected(self):
+        weird = Join(Select(eq("a", 1), BaseRelation("R")), BaseRelation("S"))
+        with pytest.raises(ExpressionError):
+            to_sql(weird)
+
+    def test_right_deep_join_rejected(self):
+        weird = Join(BaseRelation("R"), Join(BaseRelation("S"), BaseRelation("T")))
+        with pytest.raises(ExpressionError):
+            to_sql(weird)
+
+    def test_render_predicate_standalone(self):
+        assert render_predicate(eq("a", 5)) == "a = 5"
+
+
+# -- property: parse -> render -> parse is the identity ----------------------
+
+NAMES = st.sampled_from(["a", "b", "c", "d"])
+RELS = st.sampled_from(["R", "S", "T"])
+VALUES = st.one_of(
+    st.integers(min_value=-9, max_value=9),
+    st.sampled_from(["'x'", "'hello world'", "true", "false"]),
+)
+OPS = st.sampled_from(["=", "!=", "<", "<=", ">", ">="])
+
+
+@st.composite
+def view_texts(draw) -> str:
+    columns = draw(
+        st.one_of(
+            st.just("*"),
+            st.lists(NAMES, min_size=1, max_size=3, unique=True).map(", ".join),
+        )
+    )
+    relations = draw(st.lists(RELS, min_size=1, max_size=3, unique=True))
+    source = " JOIN ".join(relations)
+    where = ""
+    if draw(st.booleans()):
+        clauses = [
+            f"{draw(NAMES)} {draw(OPS)} {draw(VALUES)}"
+            for _ in range(draw(st.integers(min_value=1, max_value=3)))
+        ]
+        connector = draw(st.sampled_from([" AND ", " OR "]))
+        where = " WHERE " + connector.join(clauses)
+    return f"V = SELECT {columns} FROM {source}{where}"
+
+
+@given(text=view_texts())
+@settings(max_examples=200, deadline=None)
+def test_parse_render_round_trip(text):
+    first = parse_view(text)
+    rendered = to_sql(first)
+    assert parse_view(rendered) == first

@@ -1,0 +1,122 @@
+"""Tests for schemas and attribute types."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.schema import Attribute, AttrType, Schema
+
+
+class TestAttrType:
+    def test_int_accepts_int(self):
+        assert AttrType.INT.accepts(5)
+
+    def test_int_rejects_bool(self):
+        assert not AttrType.INT.accepts(True)
+
+    def test_int_rejects_float(self):
+        assert not AttrType.INT.accepts(5.0)
+
+    def test_float_accepts_int_and_float(self):
+        assert AttrType.FLOAT.accepts(5)
+        assert AttrType.FLOAT.accepts(5.5)
+
+    def test_float_rejects_bool(self):
+        assert not AttrType.FLOAT.accepts(False)
+
+    def test_str_accepts_str_only(self):
+        assert AttrType.STR.accepts("x")
+        assert not AttrType.STR.accepts(1)
+
+    def test_bool_accepts_bool_only(self):
+        assert AttrType.BOOL.accepts(True)
+        assert not AttrType.BOOL.accepts(1)
+
+    def test_python_type(self):
+        assert AttrType.INT.python_type is int
+        assert AttrType.STR.python_type is str
+
+
+class TestAttribute:
+    def test_default_type_is_int(self):
+        assert Attribute("a").type is AttrType.INT
+
+    def test_rejects_non_identifier_name(self):
+        with pytest.raises(SchemaError):
+            Attribute("not a name")
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SchemaError):
+            Attribute("")
+
+    def test_str_rendering(self):
+        assert str(Attribute("a", AttrType.STR)) == "a:str"
+
+
+class TestSchema:
+    def test_accepts_bare_strings(self):
+        schema = Schema(["a", "b"])
+        assert schema.names == ("a", "b")
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(SchemaError):
+            Schema(["a", "a"])
+
+    def test_rejects_empty(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_contains_and_getitem(self):
+        schema = Schema(["a", "b"])
+        assert "a" in schema
+        assert "z" not in schema
+        assert schema["b"].name == "b"
+
+    def test_getitem_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            Schema(["a"])["z"]
+
+    def test_equality_and_hash(self):
+        assert Schema(["a", "b"]) == Schema(["a", "b"])
+        assert Schema(["a", "b"]) != Schema(["b", "a"])
+        assert hash(Schema(["a"])) == hash(Schema(["a"]))
+
+    def test_validate_accepts_matching_row(self):
+        Schema(["a", "b"]).validate({"a": 1, "b": 2})
+
+    def test_validate_missing_attribute(self):
+        with pytest.raises(SchemaError, match="missing"):
+            Schema(["a", "b"]).validate({"a": 1})
+
+    def test_validate_extra_attribute(self):
+        with pytest.raises(SchemaError, match="not in schema"):
+            Schema(["a"]).validate({"a": 1, "z": 2})
+
+    def test_validate_wrong_type(self):
+        with pytest.raises(SchemaError, match="expects int"):
+            Schema(["a"]).validate({"a": "text"})
+
+    def test_project_keeps_order_given(self):
+        schema = Schema(["a", "b", "c"])
+        assert schema.project(["c", "a"]).names == ("c", "a")
+
+    def test_common_names(self):
+        left = Schema(["a", "b"])
+        right = Schema(["b", "c"])
+        assert left.common_names(right) == ("b",)
+
+    def test_natural_join_schema(self):
+        joined = Schema(["a", "b"]).natural_join(Schema(["b", "c"]))
+        assert joined.names == ("a", "b", "c")
+
+    def test_natural_join_type_conflict(self):
+        left = Schema([Attribute("b", AttrType.INT)])
+        right = Schema([Attribute("b", AttrType.STR), Attribute("c")])
+        with pytest.raises(SchemaError, match="type mismatch"):
+            left.natural_join(right)
+
+    def test_iteration_order(self):
+        schema = Schema(["x", "a"])
+        assert [a.name for a in schema] == ["x", "a"]
+
+    def test_len(self):
+        assert len(Schema(["a", "b", "c"])) == 3

@@ -1,0 +1,99 @@
+"""Tests for channels and latency models."""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Simulator
+from repro.sim.network import (
+    Channel,
+    ExponentialLatency,
+    FixedLatency,
+    UniformLatency,
+)
+from repro.sim.process import Process
+
+
+class Recorder(Process):
+    def __init__(self, sim, name):
+        super().__init__(sim, name)
+        self.received = []
+
+    def handle(self, message, sender):
+        self.received.append((self.sim.now, message, sender.name))
+
+
+class TestLatencyModels:
+    def test_fixed(self):
+        assert FixedLatency(2.5).sample(random.Random(0)) == 2.5
+
+    def test_fixed_rejects_negative(self):
+        with pytest.raises(SimulationError):
+            FixedLatency(-1)
+
+    def test_uniform_within_bounds(self):
+        model = UniformLatency(1.0, 2.0)
+        rng = random.Random(7)
+        for _ in range(50):
+            assert 1.0 <= model.sample(rng) <= 2.0
+
+    def test_uniform_rejects_bad_range(self):
+        with pytest.raises(SimulationError):
+            UniformLatency(3.0, 1.0)
+
+    def test_exponential_positive(self):
+        model = ExponentialLatency(2.0)
+        rng = random.Random(7)
+        assert all(model.sample(rng) >= 0 for _ in range(50))
+
+    def test_exponential_rejects_nonpositive_mean(self):
+        with pytest.raises(SimulationError):
+            ExponentialLatency(0)
+
+
+class TestChannel:
+    def test_delivery_after_latency(self):
+        sim = Simulator()
+        a, b = Recorder(sim, "a"), Recorder(sim, "b")
+        channel = Channel(sim, a, b, 3.0)
+        channel.send("hello")
+        sim.run()
+        assert b.received == [(3.0, "hello", "a")]
+
+    def test_float_latency_coerced(self):
+        sim = Simulator()
+        a, b = Recorder(sim, "a"), Recorder(sim, "b")
+        channel = Channel(sim, a, b, 1)
+        assert isinstance(channel.latency, FixedLatency)
+
+    def test_fifo_under_random_latency(self):
+        """Deliveries on one channel never reorder, whatever the latencies."""
+        sim = Simulator(seed=3)
+        a, b = Recorder(sim, "a"), Recorder(sim, "b")
+        channel = Channel(sim, a, b, UniformLatency(0.0, 10.0))
+        for i in range(30):
+            sim.schedule(float(i) * 0.1, channel.send, i)
+        sim.run()
+        payloads = [m for _t, m, _s in b.received]
+        assert payloads == list(range(30))
+
+    def test_messages_counted_and_traced(self):
+        sim = Simulator()
+        a, b = Recorder(sim, "a"), Recorder(sim, "b")
+        channel = Channel(sim, a, b, 0.0)
+        channel.send("x")
+        sim.run()
+        assert channel.messages_sent == 1
+        assert len(sim.trace.of_kind("msg_send")) == 1
+        assert len(sim.trace.of_kind("msg_recv")) == 1
+
+    def test_independent_channels_can_reorder(self):
+        sim = Simulator()
+        a, b, c = Recorder(sim, "a"), Recorder(sim, "b"), Recorder(sim, "c")
+        slow = Channel(sim, a, c, 10.0)
+        fast = Channel(sim, b, c, 1.0)
+        slow.send("slow")
+        fast.send("fast")
+        sim.run()
+        assert [m for _t, m, _s in c.received] == ["fast", "slow"]

@@ -1,0 +1,130 @@
+"""Tests for the process/mailbox/service-time machinery."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process
+
+
+class Echo(Process):
+    """Records handled messages; configurable per-message service time."""
+
+    def __init__(self, sim, name, service=0.0):
+        super().__init__(sim, name)
+        self.service = service
+        self.handled = []
+
+    def service_time(self, message):
+        return self.service
+
+    def handle(self, message, sender):
+        self.handled.append((self.sim.now, message))
+
+
+class TestWiring:
+    def test_connect_and_send(self):
+        sim = Simulator()
+        a, b = Echo(sim, "a"), Echo(sim, "b")
+        a.connect(b, 2.0)
+        sim.schedule(0.0, a.send, "b", "ping")
+        sim.run()
+        assert b.handled == [(2.0, "ping")]
+
+    def test_send_by_process_object(self):
+        sim = Simulator()
+        a, b = Echo(sim, "a"), Echo(sim, "b")
+        a.connect(b)
+        sim.schedule(0.0, a.send, b, "ping")
+        sim.run()
+        assert b.handled
+
+    def test_missing_channel_raises(self):
+        sim = Simulator()
+        a = Echo(sim, "a")
+        with pytest.raises(SimulationError, match="no channel"):
+            a.send("nowhere", "x")
+
+    def test_peers(self):
+        sim = Simulator()
+        a, b, c = Echo(sim, "a"), Echo(sim, "b"), Echo(sim, "c")
+        a.connect(c)
+        a.connect(b)
+        assert a.peers() == ("b", "c")
+
+
+class TestServiceDiscipline:
+    def test_serial_service(self):
+        """A busy process queues messages and serves them one at a time."""
+        sim = Simulator()
+        server = Echo(sim, "s", service=5.0)
+        client = Echo(sim, "c")
+        client.connect(server, 0.0)
+        for i in range(3):
+            sim.schedule(0.0, client.send, "s", i)
+        sim.run()
+        times = [t for t, _m in server.handled]
+        assert times == [5.0, 10.0, 15.0]
+
+    def test_busy_time_and_utilisation(self):
+        sim = Simulator()
+        server = Echo(sim, "s", service=2.0)
+        client = Echo(sim, "c")
+        client.connect(server, 0.0)
+        sim.schedule(0.0, client.send, "s", "x")
+        sim.schedule(10.0, lambda: None)  # extend the run
+        sim.run()
+        assert server.busy_time == 2.0
+        assert server.utilisation() == pytest.approx(0.2)
+
+    def test_queue_statistics(self):
+        sim = Simulator()
+        server = Echo(sim, "s", service=10.0)
+        client = Echo(sim, "c")
+        client.connect(server, 0.0)
+        for _ in range(4):
+            sim.schedule(0.0, client.send, "s", "x")
+        sim.run(until=5.0)
+        assert server.max_queue_length == 4
+        assert server.queue_length == 4  # first still in service
+        sim.run()
+        assert server.queue_length == 0
+
+    def test_negative_service_time_rejected(self):
+        sim = Simulator()
+        server = Echo(sim, "s", service=-1.0)
+        client = Echo(sim, "c")
+        client.connect(server, 0.0)
+        sim.schedule(0.0, client.send, "s", "x")
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_messages_handled_counter(self):
+        sim = Simulator()
+        server = Echo(sim, "s")
+        client = Echo(sim, "c")
+        client.connect(server, 0.0)
+        for _ in range(7):
+            sim.schedule(0.0, client.send, "s", "x")
+        sim.run()
+        assert server.messages_handled == 7
+
+    def test_base_handle_not_implemented(self):
+        sim = Simulator()
+        raw = Process(sim, "raw")
+        client = Echo(sim, "c")
+        client.connect(raw, 0.0)
+        sim.schedule(0.0, client.send, "raw", "x")
+        with pytest.raises(NotImplementedError):
+            sim.run()
+
+
+class TestTracing:
+    def test_trace_helper_records(self):
+        sim = Simulator()
+        p = Echo(sim, "p")
+        p.trace("custom", value=3)
+        events = sim.trace.of_kind("custom")
+        assert len(events) == 1
+        assert events[0].process == "p"
+        assert events[0].detail == {"value": 3}

@@ -1,0 +1,86 @@
+"""Edge cases of the simulation kernel and process accounting."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process
+
+
+class Worker(Process):
+    def __init__(self, sim, service=1.0):
+        super().__init__(sim, "worker")
+        self.service = service
+        self.seen = []
+
+    def service_time(self, message):
+        return self.service
+
+    def handle(self, message, sender):
+        self.seen.append(message)
+
+
+class TestScheduleAt:
+    def test_past_scheduling_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError, match="now is"):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_exact_time_preserved(self):
+        """schedule_at must not perturb the requested instant (float-exact)."""
+        sim = Simulator()
+        target = 10.123456789012345
+        seen = []
+        sim.schedule(1.0, lambda: sim.schedule_at(target, lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [target]
+
+
+class TestRunResumption:
+    def test_run_until_then_drain(self):
+        sim = Simulator()
+        log = []
+        for t in (1.0, 5.0, 9.0):
+            sim.schedule(t, log.append, t)
+        sim.run(until=5.0)
+        assert log == [1.0, 5.0]
+        sim.run()
+        assert log == [1.0, 5.0, 9.0]
+
+    def test_clock_monotone_across_runs(self):
+        sim = Simulator()
+        sim.run(until=3.0)
+        assert sim.now == 3.0
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.now == 4.0
+
+
+class TestUtilisationAccounting:
+    def test_utilisation_with_explicit_elapsed(self):
+        sim = Simulator()
+        worker = Worker(sim, service=2.0)
+        driver = Worker(sim, service=0.0)
+        driver.name = "driver"
+        driver.connect(worker, 0.0)
+        sim.schedule(0.0, driver.send, "worker", "x")
+        sim.run()
+        assert worker.utilisation(elapsed=4.0) == pytest.approx(0.5)
+        assert worker.utilisation(elapsed=0.0) == 0.0
+
+    def test_utilisation_clamped_to_one(self):
+        sim = Simulator()
+        worker = Worker(sim, service=10.0)
+        driver = Worker(sim, service=0.0)
+        driver.name = "driver"
+        driver.connect(worker, 0.0)
+        sim.schedule(0.0, driver.send, "worker", "x")
+        sim.run()
+        assert worker.utilisation(elapsed=5.0) == 1.0
+
+    def test_mean_queue_length_zero_before_time_advances(self):
+        sim = Simulator()
+        worker = Worker(sim)
+        assert worker.mean_queue_length() == 0.0

@@ -1,0 +1,62 @@
+"""Tests for trace recording and querying."""
+
+from repro.sim.tracing import Trace, TraceEvent
+
+
+class TestTrace:
+    def test_record_and_len(self):
+        trace = Trace()
+        trace.record(1.0, "kind", "proc", a=1)
+        assert len(trace) == 1
+        assert trace[0] == TraceEvent(1.0, "kind", "proc", {"a": 1})
+
+    def test_disabled_trace_records_nothing(self):
+        trace = Trace()
+        trace.enabled = False
+        trace.record(1.0, "kind", "proc")
+        assert len(trace) == 0
+
+    def test_of_kind(self):
+        trace = Trace()
+        trace.record(1.0, "a", "p")
+        trace.record(2.0, "b", "p")
+        trace.record(3.0, "a", "q")
+        assert len(trace.of_kind("a")) == 2
+
+    def test_by_process(self):
+        trace = Trace()
+        trace.record(1.0, "a", "p")
+        trace.record(2.0, "a", "q")
+        assert len(trace.by_process("q")) == 1
+
+    def test_where(self):
+        trace = Trace()
+        for t in range(5):
+            trace.record(float(t), "tick", "p")
+        assert len(trace.where(lambda e: e.time >= 3)) == 2
+
+    def test_first_and_last(self):
+        trace = Trace()
+        trace.record(1.0, "x", "p", n=1)
+        trace.record(2.0, "x", "p", n=2)
+        assert trace.first("x").detail == {"n": 1}
+        assert trace.last("x").detail == {"n": 2}
+        assert trace.first("missing") is None
+        assert trace.last("missing") is None
+
+    def test_clear(self):
+        trace = Trace()
+        trace.record(1.0, "x", "p")
+        trace.clear()
+        assert len(trace) == 0
+
+    def test_format_filters_kinds(self):
+        trace = Trace()
+        trace.record(1.0, "keep", "p")
+        trace.record(2.0, "drop", "p")
+        text = trace.format("keep")
+        assert "keep" in text and "drop" not in text
+
+    def test_event_str(self):
+        event = TraceEvent(1.5, "commit", "warehouse", {"txn": 3})
+        assert "commit" in str(event) and "txn=3" in str(event)

@@ -1,0 +1,56 @@
+"""Tests for source transactions."""
+
+import pytest
+
+from repro.errors import SourceError
+from repro.relational.delta import Delta
+from repro.relational.rows import Row
+from repro.sources.transactions import CommittedTransaction, SourceTransaction
+from repro.sources.update import Update
+
+
+class TestSourceTransaction:
+    def test_single(self):
+        txn = SourceTransaction.single("src", Update.insert("R", {"a": 1}))
+        assert txn.origin == "src"
+        assert len(txn.updates) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(SourceError):
+            SourceTransaction("src", ())
+
+    def test_relations(self):
+        txn = SourceTransaction(
+            "src",
+            (Update.insert("R", {"a": 1}), Update.insert("S", {"b": 2})),
+        )
+        assert txn.relations == frozenset({"R", "S"})
+
+    def test_deltas_merge_per_relation(self):
+        txn = SourceTransaction(
+            "src",
+            (
+                Update.insert("R", {"a": 1}),
+                Update.insert("R", {"a": 2}),
+                Update.delete("S", {"b": 3}),
+            ),
+        )
+        deltas = txn.deltas()
+        assert deltas["R"] == Delta({Row(a=1): 1, Row(a=2): 1})
+        assert deltas["S"] == Delta.delete(Row(b=3))
+
+    def test_deltas_cancel_within_transaction(self):
+        txn = SourceTransaction(
+            "src",
+            (Update.insert("R", {"a": 1}), Update.delete("R", {"a": 1})),
+        )
+        assert txn.deltas()["R"].is_empty()
+
+
+class TestCommittedTransaction:
+    def test_fields(self):
+        txn = SourceTransaction.single("src", Update.insert("R", {"a": 1}))
+        committed = CommittedTransaction(3, 1.5, txn)
+        assert committed.sequence == 3
+        assert committed.relations == frozenset({"R"})
+        assert "T3" in str(committed)

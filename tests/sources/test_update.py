@@ -1,0 +1,54 @@
+"""Tests for updates and their delta semantics."""
+
+import pytest
+
+from repro.errors import SourceError
+from repro.relational.delta import Delta
+from repro.relational.rows import Row
+from repro.sources.update import Update, UpdateKind
+
+
+class TestConstruction:
+    def test_insert(self):
+        update = Update.insert("R", {"a": 1})
+        assert update.kind is UpdateKind.INSERT
+        assert update.row == Row(a=1)
+
+    def test_delete(self):
+        assert Update.delete("R", Row(a=1)).kind is UpdateKind.DELETE
+
+    def test_modify(self):
+        update = Update.modify("R", {"a": 1}, {"a": 2})
+        assert update.kind is UpdateKind.MODIFY
+        assert update.new_row == Row(a=2)
+
+    def test_modify_requires_new_row(self):
+        with pytest.raises(SourceError):
+            Update("R", UpdateKind.MODIFY, Row(a=1))
+
+    def test_insert_forbids_new_row(self):
+        with pytest.raises(SourceError):
+            Update("R", UpdateKind.INSERT, Row(a=1), Row(a=2))
+
+
+class TestSemantics:
+    def test_insert_delta(self):
+        assert Update.insert("R", {"a": 1}).as_delta() == Delta.insert(Row(a=1))
+
+    def test_delete_delta(self):
+        assert Update.delete("R", {"a": 1}).as_delta() == Delta.delete(Row(a=1))
+
+    def test_modify_delta(self):
+        delta = Update.modify("R", {"a": 1}, {"a": 2}).as_delta()
+        assert delta == Delta({Row(a=1): -1, Row(a=2): 1})
+
+    def test_touched_rows(self):
+        assert Update.insert("R", {"a": 1}).touched_rows() == (Row(a=1),)
+        assert Update.modify("R", {"a": 1}, {"a": 2}).touched_rows() == (
+            Row(a=1),
+            Row(a=2),
+        )
+
+    def test_str(self):
+        assert "insert R" in str(Update.insert("R", {"a": 1}))
+        assert "->" in str(Update.modify("R", {"a": 1}, {"a": 2}))

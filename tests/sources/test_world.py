@@ -1,0 +1,85 @@
+"""Tests for the shared source world."""
+
+import pytest
+
+from repro.errors import SourceError
+from repro.relational.rows import Row
+from repro.relational.schema import Schema
+from repro.sources.transactions import SourceTransaction
+from repro.sources.update import Update
+from repro.sources.world import SourceWorld
+
+
+@pytest.fixture
+def world() -> SourceWorld:
+    w = SourceWorld()
+    w.create_relation("R", Schema(["a"]), "alpha", [Row(a=1)])
+    w.create_relation("S", Schema(["b"]), "beta")
+    return w
+
+
+class TestOwnership:
+    def test_owner_of(self, world):
+        assert world.owner_of("R") == "alpha"
+
+    def test_owner_of_unknown(self, world):
+        with pytest.raises(SourceError):
+            world.owner_of("Z")
+
+    def test_relations_of(self, world):
+        assert world.relations_of("alpha") == frozenset({"R"})
+        assert world.relations_of("nobody") == frozenset()
+
+
+class TestCommits:
+    def test_commit_applies_and_logs(self, world):
+        txn = SourceTransaction.single("alpha", Update.insert("R", {"a": 2}))
+        committed = world.commit(txn, 1.0)
+        assert committed.sequence == 1
+        assert len(world.current.relation("R")) == 2
+        assert world.log == (committed,)
+
+    def test_commit_unknown_relation(self, world):
+        txn = SourceTransaction.single("alpha", Update.insert("Z", {"a": 2}))
+        with pytest.raises(SourceError):
+            world.commit(txn, 1.0)
+
+    def test_commit_times_must_be_monotone(self, world):
+        world.commit(
+            SourceTransaction.single("alpha", Update.insert("R", {"a": 2})), 5.0
+        )
+        with pytest.raises(SourceError):
+            world.commit(
+                SourceTransaction.single("alpha", Update.insert("R", {"a": 3})), 1.0
+            )
+
+    def test_state_sequence(self, world):
+        world.commit(
+            SourceTransaction.single("alpha", Update.insert("R", {"a": 2})), 1.0
+        )
+        world.commit(
+            SourceTransaction.single("beta", Update.insert("S", {"b": 1})), 2.0
+        )
+        states = world.state_sequence()
+        assert len(states) == 3
+        assert len(states[0].relation("R")) == 1
+        assert len(states[1].relation("R")) == 2
+        assert len(states[2].relation("S")) == 1
+
+    def test_state_after(self, world):
+        world.commit(
+            SourceTransaction.single("alpha", Update.insert("R", {"a": 2})), 1.0
+        )
+        assert len(world.state_after(0).relation("R")) == 1
+        assert len(world.state_after(1).relation("R")) == 2
+
+    def test_prune_history(self, world):
+        for i in range(3):
+            world.commit(
+                SourceTransaction.single("alpha", Update.insert("R", {"a": 10 + i})),
+                float(i + 1),
+            )
+        world.prune_history_below(2)
+        with pytest.raises(SourceError):
+            world.state_after(0)
+        assert len(world.state_after(2).relation("R")) == 3

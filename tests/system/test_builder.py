@@ -1,0 +1,171 @@
+"""Tests for system assembly and configuration."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.merge.complete_n import CompleteNMerge
+from repro.merge.pa import PaintingAlgorithm
+from repro.merge.passthrough import PassThroughMerge
+from repro.merge.spa import SimplePaintingAlgorithm
+from repro.merge.submission import (
+    BatchingPolicy,
+    DbmsDependencyPolicy,
+    DependencySequencedPolicy,
+    EagerPolicy,
+    SequentialPolicy,
+)
+from repro.sources.update import Update
+from repro.system.builder import WarehouseSystem
+from repro.system.config import SystemConfig
+from repro.workloads.schemas import (
+    paper_views_example1,
+    paper_views_example2,
+    paper_views_example3,
+    paper_world,
+)
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        SystemConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"manager_kind": "psychic"},
+            {"merge_algorithm": "nope"},
+            {"submission_policy": "yolo"},
+            {"merge_groups": 0},
+            {"block_size": 0},
+            {"manager_kinds": {"V1": "psychic"}},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ReproError):
+            SystemConfig(**kwargs)
+
+    def test_manager_levels(self):
+        config = SystemConfig(
+            manager_kind="complete", manager_kinds={"V2": "strong"}
+        )
+        assert config.manager_levels(("V1", "V2")) == ["complete", "strong"]
+
+
+class TestAssembly:
+    def test_figure1_components(self):
+        system = WarehouseSystem(paper_world(), paper_views_example2())
+        assert set(system.view_managers) == {"V1", "V2", "V3"}
+        assert len(system.merge_processes) == 1
+        assert system.merge_processes[0].name == "merge"
+        assert system.warehouse.name == "warehouse"
+        assert len(system.sources) == 4
+
+    def test_algorithm_selection_auto(self):
+        complete = WarehouseSystem(paper_world(), paper_views_example1())
+        assert isinstance(
+            complete.merge_processes[0].algorithm, SimplePaintingAlgorithm
+        )
+        strong = WarehouseSystem(
+            paper_world(), paper_views_example1(),
+            SystemConfig(manager_kind="strong"),
+        )
+        assert isinstance(strong.merge_processes[0].algorithm, PaintingAlgorithm)
+        mixed = WarehouseSystem(
+            paper_world(), paper_views_example1(),
+            SystemConfig(manager_kinds={"V2": "convergent"}),
+        )
+        assert isinstance(mixed.merge_processes[0].algorithm, PassThroughMerge)
+        blocks = WarehouseSystem(
+            paper_world(), paper_views_example1(),
+            SystemConfig(manager_kind="complete-n", block_size=3),
+        )
+        assert isinstance(blocks.merge_processes[0].algorithm, CompleteNMerge)
+
+    def test_explicit_algorithm_override(self):
+        system = WarehouseSystem(
+            paper_world(), paper_views_example1(),
+            SystemConfig(merge_algorithm="pa"),
+        )
+        assert isinstance(system.merge_processes[0].algorithm, PaintingAlgorithm)
+
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("eager", EagerPolicy),
+            ("sequential", SequentialPolicy),
+            ("dependency-sequenced", DependencySequencedPolicy),
+            ("dbms-dependency", DbmsDependencyPolicy),
+            ("batching", BatchingPolicy),
+        ],
+    )
+    def test_policy_selection(self, name, cls):
+        system = WarehouseSystem(
+            paper_world(), paper_views_example1(),
+            SystemConfig(submission_policy=name),
+        )
+        assert isinstance(system.merge_processes[0].policy, cls)
+
+    def test_distributed_merge_partitioning(self):
+        system = WarehouseSystem(
+            paper_world(), paper_views_example3(),
+            SystemConfig(merge_groups=4),
+        )
+        names = [m.name for m in system.merge_processes]
+        assert names == ["merge0", "merge1"]
+        assert system.merge_processes[0].algorithm.views == ("V1", "V2")
+        assert system.merge_processes[1].algorithm.views == ("V3",)
+
+    def test_distributed_merges_pick_per_group_algorithms(self):
+        """§6.3's weakest-level rule applies per merge group: the group
+        with only complete managers keeps SPA while the group containing
+        a strong manager gets PA."""
+        system = WarehouseSystem(
+            paper_world(), paper_views_example3(),
+            SystemConfig(
+                manager_kind="complete",
+                manager_kinds={"V3": "strong"},  # V3 is its own group
+                merge_groups=4,
+            ),
+        )
+        algorithms = {
+            m.name: type(m.algorithm).__name__ for m in system.merge_processes
+        }
+        assert algorithms["merge0"] == "SimplePaintingAlgorithm"  # V1,V2
+        assert algorithms["merge1"] == "PaintingAlgorithm"  # V3
+
+    def test_views_materialized_at_initial_state(self):
+        world = paper_world()  # R={[1,2]}, T={[3,4]}, S=Q empty
+        system = WarehouseSystem(world, paper_views_example1())
+        assert len(system.store.view("V1")) == 0
+        assert len(system.store.view("V2")) == 0
+
+    def test_needs_views(self):
+        with pytest.raises(ReproError):
+            WarehouseSystem(paper_world(), [])
+
+    def test_post_unknown_source(self):
+        from repro.sources.transactions import SourceTransaction
+
+        system = WarehouseSystem(paper_world(), paper_views_example1())
+        txn = SourceTransaction.single("ghost", Update.insert("R", {"A": 1, "B": 1}))
+        with pytest.raises(ReproError):
+            system.post(txn, 1.0)
+
+    def test_expected_level(self):
+        complete = WarehouseSystem(paper_world(), paper_views_example1())
+        assert complete.expected_level() == "complete"
+        strong = WarehouseSystem(
+            paper_world(), paper_views_example1(),
+            SystemConfig(manager_kind="strong"),
+        )
+        assert strong.expected_level() == "strong"
+        batching = WarehouseSystem(
+            paper_world(), paper_views_example1(),
+            SystemConfig(submission_policy="batching"),
+        )
+        assert batching.expected_level() == "strong"
+        convergent = WarehouseSystem(
+            paper_world(), paper_views_example1(),
+            SystemConfig(manager_kind="convergent"),
+        )
+        assert convergent.expected_level() == "convergent"

@@ -1,0 +1,120 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.schema == "paper"
+        assert args.manager == "complete"
+
+    def test_bad_choice_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--manager", "psychic"])
+
+
+class TestDemo:
+    def test_demo_prints_states_and_verdict(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "MVC level achieved: complete" in out
+
+
+class TestTrace:
+    @pytest.mark.parametrize("example", ["2", "3", "4", "5"])
+    def test_traces_render(self, example, capsys):
+        assert main(["trace", example]) == 0
+        out = capsys.readouterr().out
+        assert f"Example {example}" in out
+        assert "V1" in out and "U1" in out
+
+    def test_example5_applies_rows_together(self, capsys):
+        main(["trace", "5"])
+        out = capsys.readouterr().out
+        assert "applied {U2,U3}" in out
+
+
+class TestRun:
+    def test_run_paper_complete(self, capsys):
+        code = main(["run", "--updates", "30", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "achieved MVC level: complete" in out
+        assert "verification: OK" in out
+
+    def test_run_strong_with_options(self, capsys):
+        code = main(
+            [
+                "run", "--schema", "bank", "--manager", "strong",
+                "--policy", "dbms-dependency", "--executors", "2",
+                "--updates", "30", "--rate", "1.5", "--seed", "7",
+            ]
+        )
+        assert code == 0
+        assert "achieved MVC level: strong" in capsys.readouterr().out
+
+    def test_run_distributed(self, capsys):
+        code = main(
+            [
+                "run", "--schema", "clustered", "--merges", "3",
+                "--updates", "30", "--seed", "5",
+            ]
+        )
+        assert code == 0
+        assert "merge x3" in capsys.readouterr().out
+
+    def test_run_with_filtering(self, capsys):
+        code = main(
+            ["run", "--schema", "star", "--filtering", "--updates", "30"]
+        )
+        assert code == 0
+
+    def test_run_with_views_file(self, capsys, tmp_path):
+        catalog = tmp_path / "views.cat"
+        catalog.write_text(
+            "# custom suite\n"
+            "OnlyV1 = SELECT * FROM R JOIN S\n"
+            "Totals = SELECT B, count(*) AS n FROM S GROUP BY B\n"
+        )
+        code = main(
+            ["run", "--schema", "paper", "--views-file", str(catalog),
+             "--updates", "20", "--seed", "11"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "views=2" in out
+
+    def test_sweep_compares_variants(self, capsys):
+        code = main(
+            ["sweep", "--updates", "25", "--seed", "3",
+             "--variants", "complete,strong"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "complete" in out and "strong" in out
+        assert "makespan" in out
+
+    def test_sweep_rejects_unknown_variant(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--variants", "psychic"])
+
+    def test_run_unsafe_config_reports_failure(self, capsys):
+        code = main(
+            [
+                "run", "--policy", "eager", "--executors", "4",
+                "--updates", "60", "--rate", "4", "--seed", "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        # The eager policy on a parallel warehouse loses MVC; the CLI
+        # must say so and exit non-zero.
+        assert code == 1
+        assert "FAILED" in out

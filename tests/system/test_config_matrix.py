@@ -1,0 +1,101 @@
+"""The promise matrix: every (manager kind x safe policy) combination
+must verify the MVC level the configuration promises.
+
+This is the compact end-to-end contract of the whole library: whatever
+knobs a user turns (within the safe set), `expected_level()` states the
+guarantee and the run delivers it.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.system.builder import WarehouseSystem
+from repro.system.config import SystemConfig
+from repro.workloads.generator import UpdateStreamGenerator, WorkloadSpec, post_stream
+from repro.workloads.schemas import paper_views_example2, paper_world
+
+KINDS = ("complete", "strong", "complete-n", "periodic", "convergent")
+SAFE_POLICIES = (
+    "sequential",
+    "dependency-sequenced",
+    "dbms-dependency",
+    "batching",
+)
+
+
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.parametrize("policy", SAFE_POLICIES)
+def test_promise_matrix(kind, policy):
+    world = paper_world()
+    spec = WorkloadSpec(updates=25, rate=2.0, seed=13,
+                        mix=(0.6, 0.2, 0.2), arrivals="poisson")
+    stream = UpdateStreamGenerator(world, spec).transactions()
+    system = WarehouseSystem(
+        world,
+        paper_views_example2(),
+        SystemConfig(
+            manager_kind=kind,
+            submission_policy=policy,
+            block_size=4,
+            refresh_period=15.0,
+            seed=13,
+            trace_enabled=False,
+        ),
+    )
+    post_stream(system, stream)
+    system.run()
+    promised = system.expected_level()
+    report = system.check_mvc(promised)
+    assert report, (
+        f"{kind} managers under the {policy} policy promised "
+        f"{promised} but failed: {report.reason}"
+    )
+
+
+@given(
+    kind=st.sampled_from(KINDS),
+    policy=st.sampled_from(SAFE_POLICIES),
+    mode=st.sampled_from(["cached", "snapshot", "compensate"]),
+    groups=st.sampled_from([1, 4]),
+    filtering=st.booleans(),
+    executors=st.sampled_from([1, 3]),
+    seed=st.integers(min_value=0, max_value=5_000),
+)
+@settings(max_examples=30, deadline=None)
+def test_randomized_safe_configurations_meet_their_promise(
+    kind, policy, mode, groups, filtering, executors, seed
+):
+    """The capstone property: ANY safe configuration delivers its promise."""
+    from repro.workloads.schemas import paper_views_example3
+
+    if kind in ("periodic", "convergent"):
+        mode = "cached"  # these managers recompute/derive locally
+    world = paper_world()
+    spec = WorkloadSpec(updates=15, rate=2.0, seed=seed,
+                        mix=(0.6, 0.2, 0.2), arrivals="poisson")
+    stream = UpdateStreamGenerator(world, spec).transactions()
+    system = WarehouseSystem(
+        world,
+        paper_views_example3(),
+        SystemConfig(
+            manager_kind=kind,
+            submission_policy=policy,
+            manager_mode=mode,
+            merge_groups=groups,
+            use_selection_filtering=filtering,
+            warehouse_executors=executors,
+            block_size=3,
+            refresh_period=12.0,
+            seed=seed,
+            trace_enabled=False,
+        ),
+    )
+    post_stream(system, stream)
+    system.run()
+    promised = system.expected_level()
+    report = system.check_mvc(promised)
+    assert report, (
+        f"kind={kind} policy={policy} mode={mode} groups={groups} "
+        f"filtering={filtering} executors={executors} seed={seed}: "
+        f"promised {promised}, got: {report.reason}"
+    )

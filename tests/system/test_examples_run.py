@@ -1,0 +1,34 @@
+"""Every example script must run clean (guards against example rot)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "examples must print their findings"
+
+
+def test_all_examples_present():
+    names = {p.name for p in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "bank_customer_inquiry.py",
+        "painting_algorithm_traces.py",
+        "distributed_merge.py",
+        "retail_analytics.py",
+    } <= names

@@ -1,0 +1,121 @@
+"""Failure injection: broken components must be *caught*, not absorbed.
+
+The consistency checkers are only trustworthy oracles if they actually
+fire when something is wrong.  Each test here sabotages one component of
+an otherwise healthy system and asserts the failure is detected — either
+by a protocol error at the merge process or by the MVC checker.
+"""
+
+import pytest
+
+from repro.errors import MergeError
+from repro.merge.spa import SimplePaintingAlgorithm
+from repro.messages import ActionListMessage
+from repro.relational.delta import Delta
+from repro.relational.rows import Row
+from repro.sources.update import Update
+from repro.system.builder import WarehouseSystem
+from repro.system.config import SystemConfig
+from repro.viewmgr.actions import ActionList
+from repro.workloads.generator import UpdateStreamGenerator, WorkloadSpec, post_stream
+from repro.workloads.schemas import paper_views_example1, paper_world
+
+from tests.conftest import make_al
+
+
+def healthy_system(seed=3, updates=25):
+    world = paper_world()
+    spec = WorkloadSpec(updates=updates, rate=2.0, seed=seed, mix=(0.7, 0.15, 0.15))
+    system = WarehouseSystem(world, paper_views_example1(),
+                             SystemConfig(manager_kind="complete", seed=seed))
+    post_stream(system, UpdateStreamGenerator(world, spec).transactions())
+    return system
+
+
+class TestCorruptedDeltas:
+    def test_wrong_delta_detected_by_checker(self):
+        """A view manager whose deltas are off by one row fails MVC."""
+        system = healthy_system()
+        manager = system.view_managers["V1"]
+        original_emit = manager._emit
+
+        def corrupted_emit(covered, view_delta):
+            poisoned = view_delta.combined(Delta.insert(Row(A=99, B=99, C=99)))
+            original_emit(covered, poisoned)
+
+        manager._emit = corrupted_emit
+        system.run()
+        assert not system.check_mvc("complete")
+        assert system.classify() == "inconsistent"
+
+    def test_dropped_delta_detected(self):
+        """A manager that silently swallows deltas fails convergence."""
+        system = healthy_system()
+        manager = system.view_managers["V1"]
+        original_emit = manager._emit
+
+        def lossy_emit(covered, view_delta):
+            original_emit(covered, Delta())  # content gone, protocol kept
+
+        manager._emit = lossy_emit
+        system.run()
+        assert not system.check_mvc("complete")
+        # Not even convergent: V1 never receives its rows.
+        assert system.classify() == "inconsistent"
+
+
+class TestProtocolViolations:
+    def test_duplicate_action_list_rejected(self):
+        spa = SimplePaintingAlgorithm(("V1",))
+        spa.receive_rel(1, frozenset({"V1"}))
+        spa.receive_action_list(make_al("V1", [1]))
+        with pytest.raises(MergeError):
+            spa.receive_action_list(make_al("V1", [1]))
+
+    def test_action_list_for_foreign_view_rejected(self):
+        spa = SimplePaintingAlgorithm(("V1",))
+        with pytest.raises(MergeError, match="not handled by merge"):
+            spa.receive_action_list(make_al("V9", [1]))
+
+    def test_reordered_manager_stream_rejected(self):
+        """Violating the per-channel FIFO assumption is caught loudly."""
+        spa = SimplePaintingAlgorithm(("V1",))
+        spa.receive_rel(1, frozenset({"V1"}))
+        spa.receive_rel(2, frozenset({"V1"}))
+        spa.receive_action_list(make_al("V1", [2], manager="m"))
+        with pytest.raises(MergeError, match="overlaps an earlier list"):
+            spa.receive_action_list(make_al("V1", [1], manager="m"))
+
+    def test_forged_action_list_for_irrelevant_update(self):
+        spa = SimplePaintingAlgorithm(("V1", "V2"))
+        spa.receive_rel(1, frozenset({"V2"}))  # V1 not relevant
+        with pytest.raises(MergeError, match="expected white"):
+            spa.receive_action_list(make_al("V1", [1]))
+
+
+class TestMisbehavingMergeInput:
+    def test_injected_rogue_action_list_crashes_not_corrupts(self):
+        """An AL forged by a stranger (unknown manager, bogus ids) cannot
+        silently corrupt the warehouse — the merge raises instead."""
+        system = healthy_system(updates=5)
+        system.run()  # healthy part completes first
+        merge = system.merge_processes[0]
+        rogue = ActionList.from_delta(
+            "V1", "intruder", (1,), Delta.insert(Row(A=1, B=1, C=1))
+        )
+        with pytest.raises(MergeError):
+            merge.algorithm.receive_action_list(rogue)
+
+    def test_naive_manager_detected_end_to_end(self):
+        """The deliberately broken manager produces a detectable run."""
+        world = paper_world()
+        system = WarehouseSystem(
+            world, paper_views_example1(),
+            SystemConfig(manager_kind="naive"),
+        )
+        # The intertwined pattern of Example 1: S insert concurrent with
+        # an R insert that joins it.
+        system.post_update(Update.insert("S", {"B": 2, "C": 3}), at=1.0)
+        system.post_update(Update.insert("R", {"A": 7, "B": 2}), at=1.1)
+        system.run()
+        assert system.classify() == "inconsistent"

@@ -1,0 +1,87 @@
+"""Tests for run metrics."""
+
+import pytest
+
+from repro.sources.update import Update
+from repro.system.builder import WarehouseSystem
+from repro.system.config import SystemConfig
+from repro.system.metrics import collect_metrics, staleness_per_update
+from repro.workloads.generator import UpdateStreamGenerator, WorkloadSpec, post_stream
+from repro.workloads.schemas import paper_views_example1, paper_world
+
+
+@pytest.fixture(scope="module")
+def finished_system():
+    world = paper_world()
+    spec = WorkloadSpec(updates=20, rate=2.0, seed=4, mix=(0.7, 0.15, 0.15))
+    stream = UpdateStreamGenerator(world, spec).transactions()
+    system = WarehouseSystem(world, paper_views_example1(),
+                             SystemConfig(manager_kind="complete"))
+    post_stream(system, stream)
+    system.run()
+    return system
+
+
+class TestStaleness:
+    def test_every_reflected_update_has_positive_lag(self, finished_system):
+        lags = staleness_per_update(finished_system)
+        assert lags
+        assert all(lag > 0 for lag in lags.values())
+
+    def test_visibility_uses_first_covering_state(self):
+        world = paper_world()
+        system = WarehouseSystem(world, paper_views_example1())
+        system.post_update(Update.insert("S", {"B": 2, "C": 3}), at=1.0)
+        system.run()
+        lags = staleness_per_update(system)
+        state_time = system.history[1].time
+        assert lags[1] == pytest.approx(state_time - 1.0)
+
+
+class TestCollect:
+    def test_metrics_fields(self, finished_system):
+        metrics = collect_metrics(finished_system)
+        assert metrics.updates_committed == 20
+        assert metrics.warehouse_transactions == finished_system.warehouse.commits
+        assert metrics.makespan == finished_system.sim.now
+        assert 0 < metrics.mean_staleness <= metrics.max_staleness
+        assert metrics.p95_staleness <= metrics.max_staleness
+        assert metrics.throughput > 0
+        assert metrics.vut_peak >= 1
+
+    def test_per_process_stats_present(self, finished_system):
+        metrics = finished_system.metrics()
+        for name in ("integrator", "merge", "warehouse", "vm:V1", "vm:V2"):
+            stats = metrics.process(name)
+            assert stats.messages_handled > 0
+        assert metrics.messages_total >= sum(
+            1 for _ in ("integrator", "merge", "warehouse")
+        )
+
+    def test_format_row(self, finished_system):
+        text = finished_system.metrics().format_row()
+        assert "staleness" in text and "updates=20" in text
+
+    def test_to_dict_is_json_serialisable(self, finished_system):
+        import json
+
+        record = finished_system.metrics().to_dict()
+        text = json.dumps(record)
+        assert "warehouse_transactions" in text
+        assert record["updates_committed"] == 20
+        assert "merge" in record["processes"]
+
+
+class TestTraceExport:
+    def test_trace_records_serialisable(self, finished_system):
+        import json
+
+        records = finished_system.sim.trace.to_records("wh_commit")
+        assert records
+        assert all(r["kind"] == "wh_commit" for r in records)
+        json.dumps(records, default=str)
+
+    def test_trace_records_unfiltered(self, finished_system):
+        assert len(finished_system.sim.trace.to_records()) == len(
+            finished_system.sim.trace
+        )

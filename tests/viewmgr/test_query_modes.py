@@ -1,0 +1,139 @@
+"""Deeper tests of the snapshot / compensate query pipelines."""
+
+import pytest
+
+from repro.errors import ViewManagerError
+from repro.integrator.basedata import BaseDataService
+from repro.messages import (
+    ActionListMessage,
+    NumberedUpdate,
+    SnapshotResponse,
+    UpdateForView,
+)
+from repro.relational.database import Database
+from repro.relational.parser import parse_view
+from repro.relational.rows import Row
+from repro.relational.schema import Schema
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process
+from repro.sources.update import Update
+from repro.viewmgr.complete import CompleteViewManager
+from repro.viewmgr.strong import StrongViewManager
+
+SCHEMAS = {"R": Schema(["A", "B"]), "S": Schema(["B", "C"])}
+VIEW = parse_view("V = SELECT * FROM R JOIN S")
+
+
+class MergeSink(Process):
+    def __init__(self, sim, name="merge"):
+        super().__init__(sim, name)
+        self.lists = []
+
+    def handle(self, message, sender):
+        if isinstance(message, ActionListMessage):
+            self.lists.append((self.sim.now, message.action_list))
+
+
+def initial_db() -> Database:
+    db = Database()
+    db.create_relation("R", SCHEMAS["R"], [Row(A=1, B=2)])
+    db.create_relation("S", SCHEMAS["S"])
+    return db
+
+
+def build(manager_cls, mode, query_latency=2.0, **kwargs):
+    sim = Simulator()
+    merge = MergeSink(sim)
+    manager = manager_cls(sim, VIEW, SCHEMAS, mode=mode, **kwargs)
+    manager.connect(merge, 1.0)
+    service = BaseDataService(sim)
+    service.seed(initial_db(), SCHEMAS)
+    manager.connect(service, query_latency)
+    service.connect(manager, query_latency)
+    driver = MergeSink(sim, "driver")
+    driver.connect(manager, 0.0)
+    driver.connect(service, 0.0)
+    return sim, manager, merge, service, driver
+
+
+def feed(sim, driver, manager, update_id, update, at):
+    sim.schedule(at, driver.send, "basedata", NumberedUpdate(update_id, (update,)))
+    sim.schedule(at, driver.send, manager.name, UpdateForView(update_id, "V", (update,)))
+
+
+class TestSnapshotBurst:
+    def test_burst_of_updates_processed_serially_and_correctly(self):
+        """Several updates queue while the first snapshot query is in
+        flight; each must be computed against its own pre-state."""
+        sim, manager, merge, service, driver = build(
+            CompleteViewManager, "snapshot", query_latency=5.0
+        )
+        for index in range(3):
+            feed(
+                sim, driver, manager, index + 1,
+                Update.insert("S", {"B": 2, "C": index}), at=0.1 * index,
+            )
+        sim.run()
+        covered = [al.covered for _t, al in merge.lists]
+        assert covered == [(1,), (2,), (3,)]
+        deltas = [al.net_delta().counts() for _t, al in merge.lists]
+        assert deltas[0] == {Row(A=1, B=2, C=0): 1}
+        assert deltas[1] == {Row(A=1, B=2, C=1): 1}
+        assert deltas[2] == {Row(A=1, B=2, C=2): 1}
+        # Three round trips happened (one per update).
+        assert service.queries_answered == 3
+
+    def test_snapshot_query_deferred_until_service_catches_up(self):
+        """The manager's query can reach the service before the numbered
+        update does; the service must defer, not answer stale."""
+        sim, manager, merge, service, driver = build(
+            CompleteViewManager, "snapshot", query_latency=0.0
+        )
+        update = Update.insert("S", {"B": 2, "C": 9})
+        # Route the update to the manager immediately but delay the
+        # service's copy: the manager will ask for version 0 (fine) —
+        # so instead process update 2 whose pre-state (version 1) the
+        # service hasn't seen yet.
+        first = Update.insert("S", {"B": 2, "C": 1})
+        sim.schedule(0.0, driver.send, manager.name, UpdateForView(1, "V", (first,)))
+        sim.schedule(0.0, driver.send, manager.name, UpdateForView(2, "V", (update,)))
+        sim.schedule(6.0, driver.send, "basedata", NumberedUpdate(1, (first,)))
+        sim.schedule(7.0, driver.send, "basedata", NumberedUpdate(2, (update,)))
+        sim.run()
+        assert [al.covered for _t, al in merge.lists] == [(1,), (2,)]
+        assert service.queries_deferred >= 1
+
+
+class TestCompensateDeletes:
+    def test_compensation_rolls_back_interleaved_delete(self):
+        """A delete committed after the batch start must be re-added when
+        reconstructing the pre-state."""
+        sim, manager, merge, service, driver = build(
+            StrongViewManager, "compensate", query_latency=4.0
+        )
+        insert_s = Update.insert("S", {"B": 2, "C": 7})
+        delete_r = Update.delete("R", {"A": 1, "B": 2})
+        # Both reach the service quickly; the manager only processes U1
+        # (the S insert) and reads a current state where R is already
+        # empty — compensation must restore R's row for U1's pre-state.
+        sim.schedule(0.0, driver.send, "basedata", NumberedUpdate(1, (insert_s,)))
+        sim.schedule(0.1, driver.send, "basedata", NumberedUpdate(2, (delete_r,)))
+        sim.schedule(0.0, driver.send, manager.name, UpdateForView(1, "V", (insert_s,)))
+        sim.schedule(20.0, driver.send, manager.name, UpdateForView(2, "V", (delete_r,)))
+        sim.run()
+        deltas = [al.net_delta().counts() for _t, al in merge.lists]
+        # U1: against pre-state (R has its row) the join produces one row.
+        assert deltas[0] == {Row(A=1, B=2, C=7): 1}
+        # U2: deleting R's row removes the joined row again.
+        assert deltas[1] == {Row(A=1, B=2, C=7): -1}
+
+
+class TestStaleResponseGuard:
+    def test_unexpected_response_rejected(self):
+        sim, manager, _merge, _service, driver = build(
+            CompleteViewManager, "snapshot"
+        )
+        rogue = SnapshotResponse(999, 0, {})
+        sim.schedule(0.0, driver.send, manager.name, rogue)
+        with pytest.raises(ViewManagerError, match="stale snapshot"):
+            sim.run()

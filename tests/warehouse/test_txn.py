@@ -1,0 +1,63 @@
+"""Tests for warehouse transactions and batching."""
+
+import pytest
+
+from repro.errors import WarehouseError
+from repro.relational.delta import Delta
+from repro.relational.rows import Row
+from repro.viewmgr.actions import ActionList
+from repro.warehouse.txn import WarehouseTransaction, batch
+
+
+def al(view, row, empty=False):
+    delta = Delta() if empty else Delta.insert(Row(x=row))
+    return ActionList.from_delta(view, view, (row,), delta)
+
+
+def txn(txn_id, views, row, empty=False):
+    return WarehouseTransaction(
+        txn_id, "merge", tuple(al(v, row, empty) for v in views), (row,)
+    )
+
+
+class TestWarehouseTransaction:
+    def test_view_set_includes_empty_lists(self):
+        t = WarehouseTransaction(
+            1, "merge", (al("V1", 1), al("V2", 1, empty=True)), (1,)
+        )
+        assert t.view_set == frozenset({"V1", "V2"})
+        assert t.effective_views == frozenset({"V1"})
+
+    def test_depends_on(self):
+        first = txn(1, ("V1", "V2"), 1)
+        second = txn(2, ("V2",), 2)
+        third = txn(3, ("V3",), 3)
+        assert second.depends_on(first)
+        assert not third.depends_on(first)
+        assert not first.depends_on(second)  # earlier never depends on later
+
+    def test_covered_rows_validation(self):
+        with pytest.raises(WarehouseError):
+            WarehouseTransaction(1, "merge", (), ())
+        with pytest.raises(WarehouseError):
+            WarehouseTransaction(1, "merge", (), (2, 1))
+
+    def test_is_batch(self):
+        assert not txn(1, ("V1",), 1).is_batch
+
+    def test_str(self):
+        assert "WT1" in str(txn(1, ("V1",), 1))
+
+
+class TestBatch:
+    def test_batch_concatenates_in_order(self):
+        combined = batch(9, "merge", [txn(1, ("V1",), 1), txn(2, ("V1",), 2)])
+        assert combined.txn_id == 9
+        assert combined.covered_rows == (1, 2)
+        assert combined.is_batch
+        rows = [a.covered[0] for a in combined.action_lists]
+        assert rows == [1, 2]  # dependent constituents keep order
+
+    def test_batch_empty_rejected(self):
+        with pytest.raises(WarehouseError):
+            batch(1, "merge", [])

@@ -1,0 +1,167 @@
+"""Tests for the warehouse process: execution, commit order, dependencies."""
+
+import pytest
+
+from repro.errors import WarehouseError
+from repro.messages import CommitNotification, WarehouseTransactionMsg
+from repro.relational.delta import Delta
+from repro.relational.parser import parse_view
+from repro.relational.rows import Row
+from repro.relational.schema import Schema
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process
+from repro.viewmgr.actions import ActionList
+from repro.warehouse.store import ViewStore
+from repro.warehouse.txn import WarehouseTransaction
+from repro.warehouse.warehouse import WarehouseProcess
+
+SCHEMAS = {"R": Schema(["A"])}
+DEFS = [parse_view("V1 = SELECT * FROM R"), parse_view("V2 = SELECT * FROM R")]
+
+
+class FakeMerge(Process):
+    def __init__(self, sim, name="merge"):
+        super().__init__(sim, name)
+        self.commits = []
+
+    def handle(self, message, sender):
+        assert isinstance(message, CommitNotification)
+        self.commits.append(message.txn_id)
+
+
+def make_txn(txn_id, views, row, rows_count=1):
+    delta = Delta({Row(A=100 * txn_id + i): 1 for i in range(rows_count)})
+    lists = tuple(
+        ActionList.from_delta(v, v, (row,), delta) for v in views
+    )
+    return WarehouseTransaction(txn_id, "merge", lists, (row,))
+
+
+@pytest.fixture
+def rig():
+    sim = Simulator()
+    store = ViewStore(DEFS, SCHEMAS)
+    warehouse = WarehouseProcess(
+        sim, store, per_txn_overhead=1.0, per_action_cost=0.1
+    )
+    merge = FakeMerge(sim)
+    merge.connect(warehouse, 0.0)
+    warehouse.connect(merge, 0.0)
+    return sim, store, warehouse, merge
+
+
+class TestExecution:
+    def test_commit_applies_and_notifies(self, rig):
+        sim, store, warehouse, merge = rig
+        sim.schedule(
+            0.0, merge.send, "warehouse",
+            WarehouseTransactionMsg(make_txn(1, ("V1",), 1)),
+        )
+        sim.run()
+        assert warehouse.commits == 1
+        assert merge.commits == [1]
+        assert len(store.view("V1")) == 1
+
+    def test_execution_time_scales_with_rows(self, rig):
+        _sim, _store, warehouse, _merge = rig
+        small = warehouse.execution_time(make_txn(1, ("V1",), 1, rows_count=1))
+        large = warehouse.execution_time(make_txn(2, ("V1",), 2, rows_count=50))
+        assert large > small
+
+    def test_single_executor_serialises(self, rig):
+        sim, _store, warehouse, merge = rig
+        for i in (1, 2, 3):
+            sim.schedule(
+                0.0, merge.send, "warehouse",
+                WarehouseTransactionMsg(make_txn(i, ("V1",), i)),
+            )
+        sim.run()
+        assert merge.commits == [1, 2, 3]
+
+    def test_invalid_executors(self):
+        sim = Simulator()
+        store = ViewStore(DEFS, SCHEMAS)
+        with pytest.raises(WarehouseError):
+            WarehouseProcess(sim, store, executors=0)
+
+    def test_rejects_unknown_message(self, rig):
+        sim, _store, warehouse, merge = rig
+        sim.schedule(0.0, merge.send, "warehouse", "junk")
+        with pytest.raises(WarehouseError):
+            sim.run()
+
+
+class TestCommitOrderHazard:
+    def test_parallel_executors_can_reorder_commits(self):
+        """§4.3: a big early transaction finishes after a small later one."""
+        sim = Simulator()
+        store = ViewStore(DEFS, SCHEMAS)
+        warehouse = WarehouseProcess(
+            sim, store, executors=2, per_txn_overhead=0.1, per_action_cost=1.0
+        )
+        merge = FakeMerge(sim)
+        merge.connect(warehouse, 0.0)
+        warehouse.connect(merge, 0.0)
+        big = make_txn(1, ("V1",), 1, rows_count=20)
+        small = make_txn(2, ("V1",), 2, rows_count=1)
+        sim.schedule(0.0, merge.send, "warehouse", WarehouseTransactionMsg(big))
+        sim.schedule(0.1, merge.send, "warehouse", WarehouseTransactionMsg(small))
+        sim.run()
+        assert merge.commits == [2, 1]  # the hazard, demonstrated
+
+    def test_dependency_info_prevents_reorder(self):
+        sim = Simulator()
+        store = ViewStore(DEFS, SCHEMAS)
+        warehouse = WarehouseProcess(
+            sim, store, executors=2, per_txn_overhead=0.1, per_action_cost=1.0
+        )
+        merge = FakeMerge(sim)
+        merge.connect(warehouse, 0.0)
+        warehouse.connect(merge, 0.0)
+        big = make_txn(1, ("V1",), 1, rows_count=20)
+        small = make_txn(2, ("V1",), 2, rows_count=1)
+        sim.schedule(0.0, merge.send, "warehouse", WarehouseTransactionMsg(big))
+        sim.schedule(
+            0.1, merge.send, "warehouse",
+            WarehouseTransactionMsg(small, sequenced_after=(1,)),
+        )
+        sim.run()
+        assert merge.commits == [1, 2]
+
+    def test_dependency_without_support_rejected(self):
+        sim = Simulator()
+        store = ViewStore(DEFS, SCHEMAS)
+        warehouse = WarehouseProcess(sim, store, supports_dependencies=False)
+        merge = FakeMerge(sim)
+        merge.connect(warehouse, 0.0)
+        warehouse.connect(merge, 0.0)
+        sim.schedule(
+            0.0, merge.send, "warehouse",
+            WarehouseTransactionMsg(make_txn(2, ("V1",), 2), sequenced_after=(1,)),
+        )
+        with pytest.raises(WarehouseError, match="does not support"):
+            sim.run()
+
+    def test_waiting_txn_commits_after_dependency(self):
+        sim = Simulator()
+        store = ViewStore(DEFS, SCHEMAS)
+        warehouse = WarehouseProcess(
+            sim, store, executors=3, per_txn_overhead=0.1, per_action_cost=1.0
+        )
+        merge = FakeMerge(sim)
+        merge.connect(warehouse, 0.0)
+        warehouse.connect(merge, 0.0)
+        txns = [
+            (make_txn(1, ("V1",), 1, rows_count=30), ()),
+            (make_txn(2, ("V1",), 2, rows_count=1), (1,)),
+            (make_txn(3, ("V2",), 3, rows_count=1), ()),
+        ]
+        for txn, deps in txns:
+            sim.schedule(
+                0.0, merge.send, "warehouse",
+                WarehouseTransactionMsg(txn, sequenced_after=deps),
+            )
+        sim.run()
+        # txn3 (independent) may commit first; txn2 must follow txn1.
+        assert merge.commits.index(1) < merge.commits.index(2)
+        assert warehouse.in_flight == 0

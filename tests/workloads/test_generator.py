@@ -1,0 +1,128 @@
+"""Tests for workload generation."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.sources.update import UpdateKind
+from repro.workloads.generator import UpdateStreamGenerator, WorkloadSpec
+from repro.workloads.schemas import paper_world
+
+
+class TestSpecValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"updates": -1},
+            {"rate": 0},
+            {"arrivals": "bursty"},
+            {"mix": (0, 0, 0)},
+            {"mix": (-1, 1, 1)},
+            {"multi_update_fraction": 2.0},
+        ],
+    )
+    def test_bad_specs(self, kwargs):
+        with pytest.raises(ReproError):
+            WorkloadSpec(**kwargs)
+
+
+class TestGeneration:
+    def test_deterministic_for_seed(self):
+        def gen():
+            stream = UpdateStreamGenerator(
+                paper_world(), WorkloadSpec(updates=30, seed=9)
+            ).transactions()
+            return [(t, str(txn)) for t, txn in stream]
+
+        assert gen() == gen()
+
+    def test_different_seeds_differ(self):
+        a = UpdateStreamGenerator(
+            paper_world(), WorkloadSpec(updates=30, seed=1)
+        ).transactions()
+        b = UpdateStreamGenerator(
+            paper_world(), WorkloadSpec(updates=30, seed=2)
+        ).transactions()
+        assert [str(t) for _x, t in a] != [str(t) for _x, t in b]
+
+    def test_times_strictly_increase(self):
+        stream = UpdateStreamGenerator(
+            paper_world(), WorkloadSpec(updates=50, seed=3, arrivals="poisson")
+        ).transactions()
+        times = [t for t, _txn in stream]
+        assert times == sorted(times)
+        assert len(set(times)) == len(times)
+
+    def test_uniform_rate_spacing(self):
+        stream = UpdateStreamGenerator(
+            paper_world(), WorkloadSpec(updates=10, rate=4.0)
+        ).transactions()
+        gaps = [
+            stream[i + 1][0] - stream[i][0] for i in range(len(stream) - 1)
+        ]
+        assert all(gap == pytest.approx(0.25) for gap in gaps)
+
+    def test_deletes_target_live_rows(self):
+        """Replaying the stream against the world never underflows."""
+        world = paper_world()
+        spec = WorkloadSpec(updates=200, seed=13, mix=(0.4, 0.4, 0.2))
+        stream = UpdateStreamGenerator(world, spec).transactions()
+        for time, txn in stream:
+            world.commit(txn, time)  # raises on any bad delete
+        assert world.version == 200
+
+    def test_origin_owns_relations(self):
+        world = paper_world()
+        stream = UpdateStreamGenerator(
+            world, WorkloadSpec(updates=50, seed=5)
+        ).transactions()
+        for _time, txn in stream:
+            for update in txn.updates:
+                assert world.owner_of(update.relation) == txn.origin
+
+    def test_multi_update_transactions_generated(self):
+        world = paper_world(sources=1)  # all relations on one source
+        spec = WorkloadSpec(updates=60, seed=5, multi_update_fraction=1.0)
+        stream = UpdateStreamGenerator(world, spec).transactions()
+        assert any(len(txn.updates) > 1 for _t, txn in stream)
+
+    def test_relation_weights_bias(self):
+        world = paper_world()
+        spec = WorkloadSpec(
+            updates=100, seed=5,
+            relation_weights={"R": 100.0, "S": 0.0001, "T": 0.0001, "Q": 0.0001},
+        )
+        stream = UpdateStreamGenerator(world, spec).transactions()
+        r_count = sum(
+            1 for _t, txn in stream if txn.updates[0].relation == "R"
+        )
+        assert r_count > 90
+
+    def test_hot_fraction_skews_values(self):
+        world = paper_world()
+        spec = WorkloadSpec(
+            updates=200, seed=4, mix=(1.0, 0.0, 0.0),
+            value_range=100, hot_fraction=0.9, hot_keys=2,
+        )
+        stream = UpdateStreamGenerator(world, spec).transactions()
+        values = [
+            v
+            for _t, txn in stream
+            for u in txn.updates
+            for v in u.row.values()
+            if isinstance(v, int)
+        ]
+        hot = sum(1 for v in values if v < 2)
+        assert hot / len(values) > 0.75  # ~90% expected
+
+    def test_hot_fraction_validation(self):
+        with pytest.raises(ReproError):
+            WorkloadSpec(hot_fraction=1.5)
+        with pytest.raises(ReproError):
+            WorkloadSpec(hot_keys=0)
+
+    def test_mix_all_inserts(self):
+        world = paper_world()
+        spec = WorkloadSpec(updates=40, seed=2, mix=(1.0, 0.0, 0.0))
+        stream = UpdateStreamGenerator(world, spec).transactions()
+        kinds = {u.kind for _t, txn in stream for u in txn.updates}
+        assert kinds == {UpdateKind.INSERT}

@@ -1,0 +1,82 @@
+"""Tests for the canonical worlds and view suites."""
+
+from repro.merge.distributed import partition_views
+from repro.relational.algebra import evaluate
+from repro.workloads.schemas import (
+    bank_views,
+    bank_world,
+    paper_views_example1,
+    paper_views_example2,
+    paper_views_example3,
+    paper_world,
+    star_views,
+    star_world,
+)
+
+
+class TestPaperWorld:
+    def test_table1_initial_state(self):
+        world = paper_world()
+        assert len(world.current.relation("R")) == 1
+        assert len(world.current.relation("S")) == 0
+        assert len(world.current.relation("T")) == 1
+        assert len(world.current.relation("Q")) == 0
+
+    def test_unseeded(self):
+        world = paper_world(seed_rows=False)
+        assert len(world.current.relation("R")) == 0
+
+    def test_sources_spread(self):
+        world = paper_world(sources=4)
+        owners = {world.owner_of(r) for r in ("R", "S", "T", "Q")}
+        assert len(owners) == 4
+        single = paper_world(sources=1)
+        assert {single.owner_of(r) for r in ("R", "S", "T", "Q")} == {"src0"}
+
+    def test_view_suites_evaluate(self):
+        world = paper_world()
+        for suite in (
+            paper_views_example1(),
+            paper_views_example2(),
+            paper_views_example3(),
+        ):
+            for view in suite:
+                evaluate(view.expression, world.current)  # must not raise
+
+    def test_example3_partitions_like_figure3(self):
+        groups = partition_views(paper_views_example3())
+        assert groups == [("V1", "V2"), ("V3",)]
+
+
+class TestBankWorld:
+    def test_initial_population(self):
+        world = bank_world(customers=10)
+        assert len(world.current.relation("Checking")) == 10
+        assert len(world.current.relation("Savings")) == 10
+        assert world.owner_of("Checking") == "retail"
+        assert world.owner_of("Savings") == "savings"
+
+    def test_views_evaluate_consistently(self):
+        world = bank_world(customers=10)
+        views = {v.name: v for v in bank_views()}
+        portfolio = evaluate(views["Portfolio"].expression, world.current)
+        assert len(portfolio) == 10
+        gold = evaluate(views["GoldLedger"].expression, world.current)
+        assert len(gold) == 2  # customers 0 and 5
+
+    def test_portfolio_and_gold_share_base_relations(self):
+        groups = partition_views(bank_views())
+        assert len(groups) == 1  # all bank views share Checking/Savings
+
+
+class TestStarWorld:
+    def test_dimensions_seeded(self):
+        world = star_world(products=8, stores=4)
+        assert len(world.current.relation("Product")) == 8
+        assert len(world.current.relation("Store")) == 4
+        assert len(world.current.relation("Sales")) == 0
+
+    def test_selective_views_present(self):
+        names = [v.name for v in star_views(selective=True)]
+        assert "BigTickets" in names and "CheapCatalog" in names
+        assert len(star_views(selective=False)) == 2
