@@ -37,6 +37,7 @@ Packages:
 
 from repro.errors import (
     ConsistencyViolation,
+    FaultError,
     MergeError,
     ReproError,
     SchemaError,
@@ -44,6 +45,7 @@ from repro.errors import (
     ViewManagerError,
     WarehouseError,
 )
+from repro.faults import ChannelFaultModel, CrashSpec, FaultPlan
 from repro.relational import (
     Aggregate,
     AggregateSpec,
@@ -119,6 +121,11 @@ __all__ = [
     "MergeError",
     "WarehouseError",
     "ConsistencyViolation",
+    "FaultError",
+    # faults
+    "FaultPlan",
+    "CrashSpec",
+    "ChannelFaultModel",
     # relational
     "Attribute",
     "AttrType",

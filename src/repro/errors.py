@@ -31,6 +31,10 @@ class SimulationError(ReproError):
     """The discrete-event simulator was used incorrectly."""
 
 
+class FaultError(ReproError):
+    """A fault plan is malformed or names an unknown process."""
+
+
 class SourceError(ReproError):
     """A data-source operation failed (unknown relation, bad transaction)."""
 

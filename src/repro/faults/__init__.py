@@ -1,0 +1,17 @@
+"""Fault injection: the environment the paper assumes away.
+
+The paper's correctness results (§4–§5) stand on two environmental
+assumptions — messages are never lost, and each channel is FIFO.  This
+package makes those assumptions *violable*: a :class:`FaultPlan` injects
+deterministic, seed-reproducible message drops, duplications, delay
+spikes and process crash/restarts into a run, and the recovery layer
+(:class:`~repro.sim.network.ReliableChannel` + merge-process checkpoints)
+wins the assumptions back, so MVC can be demonstrated to hold — or shown
+to fail — under a misbehaving environment.
+
+See ``docs/faults.md`` for the fault model and the recovery protocol.
+"""
+
+from repro.faults.plan import ChannelFaultModel, CrashSpec, FaultPlan
+
+__all__ = ["ChannelFaultModel", "CrashSpec", "FaultPlan"]

@@ -1,0 +1,190 @@
+"""Deterministic, seedable fault plans.
+
+A :class:`FaultPlan` describes everything the environment is allowed to do
+to a run: per-transmission message faults (drop, duplication, delay
+spikes) and scheduled process crash/restart pairs.  Determinism is the
+design constraint — two runs with the same plan must inject *identical*
+faults — so every channel gets its **own** random stream, derived stably
+from ``(plan seed, source name, destination name)``.  Fault decisions on
+one channel therefore never shift because unrelated traffic elsewhere
+consumed randomness, which keeps fault scenarios bit-for-bit reproducible
+and lets benchmarks compare fault rates apples-to-apples.
+
+The plan is pure data; the wiring lives in
+:class:`repro.system.builder.WarehouseSystem`, which builds a
+:class:`~repro.sim.network.ReliableChannel` (or, with ``reliable=False``,
+a bare :class:`~repro.sim.network.LossyChannel`) per connection and
+schedules the crashes.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass
+
+from repro.errors import FaultError
+from repro.sim.network import Transmission
+
+
+class ChannelFaultModel:
+    """Per-channel fault source with its own deterministic RNG.
+
+    Exactly three random draws are consumed per transmission regardless of
+    the outcome, so raising one rate never perturbs the *pattern* of the
+    other fault kinds for the same seed.
+    """
+
+    def __init__(
+        self,
+        drop_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
+        delay_spike_rate: float = 0.0,
+        delay_spike: float = 10.0,
+        seed: int = 0,
+    ) -> None:
+        for name, rate in (
+            ("drop_rate", drop_rate),
+            ("duplicate_rate", duplicate_rate),
+            ("delay_spike_rate", delay_spike_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise FaultError(f"{name} must be in [0, 1], got {rate}")
+        if delay_spike < 0:
+            raise FaultError(f"delay_spike must be non-negative, got {delay_spike}")
+        self.drop_rate = drop_rate
+        self.duplicate_rate = duplicate_rate
+        self.delay_spike_rate = delay_spike_rate
+        self.delay_spike = delay_spike
+        self._rng = random.Random(seed)
+        self.decisions = 0
+
+    def next_transmission(self) -> Transmission:
+        rng = self._rng
+        drop = rng.random() < self.drop_rate
+        duplicates = 1 if rng.random() < self.duplicate_rate else 0
+        extra = self.delay_spike if rng.random() < self.delay_spike_rate else 0.0
+        self.decisions += 1
+        return Transmission(drop=drop, duplicates=duplicates, extra_delay=extra)
+
+    def __repr__(self) -> str:
+        return (
+            f"ChannelFaultModel(drop={self.drop_rate}, "
+            f"dup={self.duplicate_rate}, spike={self.delay_spike_rate})"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class CrashSpec:
+    """Crash ``process`` at virtual time ``at``; restart ``restart_after`` later."""
+
+    process: str
+    at: float
+    restart_after: float = 5.0
+
+    def __post_init__(self) -> None:
+        if not self.process:
+            raise FaultError("a crash needs a process name")
+        if self.at < 0:
+            raise FaultError(f"crash time must be non-negative, got {self.at}")
+        if self.restart_after <= 0:
+            raise FaultError(
+                f"restart_after must be positive, got {self.restart_after}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class FaultPlan:
+    """Everything the environment does to a run, reproducible from a seed.
+
+    ``reliable=True`` (the default) wires every system channel as a
+    :class:`~repro.sim.network.ReliableChannel`, so the injected faults are
+    *recovered* and MVC is preserved; ``reliable=False`` wires bare
+    :class:`~repro.sim.network.LossyChannel` s, demonstrating how the
+    paper's guarantees fail when its delivery assumptions are simply
+    violated.  ``retransmit_timeout`` / ``backoff_factor`` /
+    ``timeout_cap`` parameterise the recovery protocol.
+    """
+
+    seed: int = 0
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    delay_spike_rate: float = 0.0
+    delay_spike: float = 10.0
+    crashes: tuple[CrashSpec, ...] = ()
+    reliable: bool = True
+    retransmit_timeout: float = 4.0
+    backoff_factor: float = 2.0
+    timeout_cap: float = 32.0
+
+    def __post_init__(self) -> None:
+        # Rate/spike validation is shared with the per-channel model.
+        ChannelFaultModel(
+            self.drop_rate,
+            self.duplicate_rate,
+            self.delay_spike_rate,
+            self.delay_spike,
+        )
+        if self.retransmit_timeout <= 0:
+            raise FaultError(
+                f"retransmit_timeout must be positive, got {self.retransmit_timeout}"
+            )
+        if self.backoff_factor < 1:
+            raise FaultError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.timeout_cap < self.retransmit_timeout:
+            raise FaultError(
+                f"timeout_cap {self.timeout_cap} below retransmit_timeout "
+                f"{self.retransmit_timeout}"
+            )
+        if not isinstance(self.crashes, tuple):
+            object.__setattr__(self, "crashes", tuple(self.crashes))
+
+    # -- derived fault sources ------------------------------------------------
+    def channel_seed(self, source: str, destination: str, salt: str = "") -> int:
+        """A stable per-channel seed: independent of wiring or event order."""
+        key = f"{self.seed}:{source}->{destination}:{salt}"
+        return zlib.crc32(key.encode("utf-8"))
+
+    def faults_for(self, source: str, destination: str) -> ChannelFaultModel:
+        """The data-path fault model for the ``source -> destination`` channel."""
+        return ChannelFaultModel(
+            self.drop_rate,
+            self.duplicate_rate,
+            self.delay_spike_rate,
+            self.delay_spike,
+            seed=self.channel_seed(source, destination),
+        )
+
+    def ack_faults_for(self, source: str, destination: str) -> ChannelFaultModel:
+        """The ack-path fault model (acks are as unreliable as data)."""
+        return ChannelFaultModel(
+            self.drop_rate,
+            self.duplicate_rate,
+            self.delay_spike_rate,
+            self.delay_spike,
+            seed=self.channel_seed(source, destination, salt="ack"),
+        )
+
+    # -- inspection ------------------------------------------------------------
+    @property
+    def faulty_network(self) -> bool:
+        """True when any per-message fault can actually occur."""
+        return (
+            self.drop_rate > 0
+            or self.duplicate_rate > 0
+            or self.delay_spike_rate > 0
+        )
+
+    def describe(self) -> str:
+        parts = [
+            f"drop={self.drop_rate:g}",
+            f"dup={self.duplicate_rate:g}",
+            f"spike={self.delay_spike_rate:g}x{self.delay_spike:g}",
+            "reliable" if self.reliable else "UNRELIABLE",
+        ]
+        parts.extend(
+            f"crash {c.process}@{c.at:g}+{c.restart_after:g}" for c in self.crashes
+        )
+        return f"FaultPlan(seed={self.seed}, " + ", ".join(parts) + ")"

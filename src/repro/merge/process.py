@@ -6,10 +6,22 @@ ready units into numbered warehouse transactions, hands them to the
 submission policy, and feeds warehouse commit notifications back to the
 policy.  Its ``service_time`` models per-message coordination cost — the
 knob the §7 bottleneck study turns.
+
+With ``checkpointing=True`` the process additionally snapshots its entire
+durable state — the algorithm (VUT, held action lists), the submission
+policy, the transaction-id counter, and the unacknowledged buffers of its
+outgoing :class:`~repro.sim.network.ReliableChannel` s — after *every*
+handled message, before the reliable channel acknowledges that message.
+A crash then loses only unacknowledged input, which the senders
+retransmit; :meth:`on_restart` reinstates the checkpoint, so the restarted
+merge resumes exactly where its last acknowledged message left it and MVC
+is preserved end-to-end (see ``docs/faults.md``).
 """
 
 from __future__ import annotations
 
+import copy
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.errors import MergeError
@@ -21,11 +33,23 @@ from repro.messages import (
     RelMessage,
     WarehouseTransactionMsg,
 )
+from repro.sim.network import ReliableChannel
 from repro.sim.process import Process
 from repro.warehouse.txn import WarehouseTransaction
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.kernel import Simulator
+
+
+@dataclass(frozen=True, slots=True)
+class MergeCheckpoint:
+    """A restorable snapshot of everything a merge process must not lose."""
+
+    algorithm: MergeAlgorithm
+    policy: SubmissionPolicy
+    next_txn_id: int
+    transactions_formed: int
+    channel_states: dict[str, tuple] = field(default_factory=dict)
 
 
 class MergeProcess(Process):
@@ -41,6 +65,7 @@ class MergeProcess(Process):
         per_message_cost: float = 0.0,
         txn_id_start: int = 1,
         txn_id_step: int = 1,
+        checkpointing: bool = False,
     ) -> None:
         super().__init__(sim, name or algorithm.name)
         self.algorithm = algorithm
@@ -53,6 +78,10 @@ class MergeProcess(Process):
         self._txn_id_step = txn_id_step
         self.policy.bind(self._submit_to_warehouse, self._allocate_txn_id)
         self.transactions_formed = 0
+        self.checkpointing = checkpointing
+        self._checkpoint: MergeCheckpoint | None = None
+        self.checkpoints_taken = 0
+        self.restores = 0
 
     # -- plumbing -----------------------------------------------------------
     def _allocate_txn_id(self) -> int:
@@ -109,6 +138,60 @@ class MergeProcess(Process):
             for unit in flush_units():
                 self._offer(unit)
         self.policy.flush()
+
+    # -- checkpoint / restore (crash recovery) ----------------------------------
+    def on_handled(self, message: object, sender: Process) -> None:
+        if self.checkpointing:
+            self.take_checkpoint()
+
+    def take_checkpoint(self) -> MergeCheckpoint:
+        """Snapshot durable state; taken after each handled message.
+
+        The policy's merge-process callbacks are detached for the copy so
+        the checkpoint does not drag the process (and the simulator) along.
+        Channel sender states are captured *after* the message's sends, so
+        a restore retransmits exactly the output the crash destroyed.
+        """
+        self.policy.unbind()
+        try:
+            algorithm = copy.deepcopy(self.algorithm)
+            policy = copy.deepcopy(self.policy)
+        finally:
+            self.policy.bind(self._submit_to_warehouse, self._allocate_txn_id)
+        channel_states = {
+            name: channel.sender_state()
+            for name, channel in self._outgoing.items()
+            if isinstance(channel, ReliableChannel)
+        }
+        self._checkpoint = MergeCheckpoint(
+            algorithm=algorithm,
+            policy=policy,
+            next_txn_id=self._next_txn_id,
+            transactions_formed=self.transactions_formed,
+            channel_states=channel_states,
+        )
+        self.checkpoints_taken += 1
+        self.trace("checkpoint", next_txn=self._next_txn_id)
+        return self._checkpoint
+
+    def on_restart(self) -> None:
+        """Reinstate the last checkpoint (or stay pristine if none exists)."""
+        checkpoint = self._checkpoint
+        if checkpoint is None:
+            return
+        # Copy out of the checkpoint so it remains restorable a second time.
+        self.algorithm = copy.deepcopy(checkpoint.algorithm)
+        policy = copy.deepcopy(checkpoint.policy)
+        policy.bind(self._submit_to_warehouse, self._allocate_txn_id)
+        self.policy = policy
+        self._next_txn_id = checkpoint.next_txn_id
+        self.transactions_formed = checkpoint.transactions_formed
+        for name, state in checkpoint.channel_states.items():
+            channel = self._outgoing.get(name)
+            if isinstance(channel, ReliableChannel):
+                channel.restore_sender_state(state)
+        self.restores += 1
+        self.trace("restore", next_txn=self._next_txn_id)
 
     # -- inspection ------------------------------------------------------------
     def idle(self) -> bool:

@@ -43,7 +43,9 @@ class SimplePaintingAlgorithm(MergeAlgorithm):
         self.vut = ViewUpdateTable(self.views)
         self.strict = strict
         self._wt: dict[int, list[ActionList]] = defaultdict(list)
-        self._emitted: list[ReadyUnit]
+        # Must be a real list from construction: the crash-recovery path
+        # calls _process_row directly, without a receive_* event resetting it.
+        self._emitted: list[ReadyUnit] = []
 
     # -- event hooks ---------------------------------------------------------
     def _on_rel(self, update_id: int, views: frozenset[str]) -> list[ReadyUnit]:

@@ -52,6 +52,12 @@ class SubmissionPolicy:
         self._submit = submit
         self._allocate = allocate_id
 
+    def unbind(self) -> None:
+        """Drop the merge-process callbacks (so the policy can be deep-copied
+        into a checkpoint without dragging the process and simulator along)."""
+        self._submit = None
+        self._allocate = None
+
     def _send(self, message: WarehouseTransactionMsg) -> None:
         if self._submit is None:
             raise MergeError(f"{type(self).__name__} was never bound")
@@ -210,6 +216,10 @@ class BatchingPolicy(SubmissionPolicy):
     def bind(self, submit: SubmitFn, allocate_id: AllocateFn) -> None:
         super().bind(submit, allocate_id)
         self.inner.bind(self._count_and_submit, allocate_id)
+
+    def unbind(self) -> None:
+        super().unbind()
+        self.inner.unbind()
 
     def _count_and_submit(self, message: WarehouseTransactionMsg) -> None:
         self.submitted += 1

@@ -125,6 +125,27 @@ class CommitNotification:
     merge_name: str = ""
 
 
+@dataclass(frozen=True, slots=True)
+class SequencedFrame:
+    """Transport frame of :class:`~repro.sim.network.ReliableChannel`.
+
+    Wraps one application payload with the channel sequence number the
+    reliable-delivery protocol uses for ordering, duplicate suppression and
+    retransmission.  Never seen by application processes — the channel
+    unwraps it before delivery.
+    """
+
+    seq: int
+    payload: object
+
+
+@dataclass(frozen=True, slots=True)
+class AckFrame:
+    """Cumulative acknowledgement: every frame ``seq <= ack`` was processed."""
+
+    ack: int
+
+
 __all__ = [
     "UpdateNotification",
     "NumberedUpdate",
@@ -135,4 +156,6 @@ __all__ = [
     "ActionListMessage",
     "WarehouseTransactionMsg",
     "CommitNotification",
+    "SequencedFrame",
+    "AckFrame",
 ]

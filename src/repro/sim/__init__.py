@@ -15,13 +15,24 @@ must tolerate — paper §4).
 
 from repro.sim.kernel import Simulator
 from repro.sim.process import Process
-from repro.sim.network import Channel, ExponentialLatency, FixedLatency, UniformLatency
+from repro.sim.network import (
+    Channel,
+    ExponentialLatency,
+    FixedLatency,
+    LossyChannel,
+    ReliableChannel,
+    Transmission,
+    UniformLatency,
+)
 from repro.sim.tracing import Trace, TraceEvent
 
 __all__ = [
     "Simulator",
     "Process",
     "Channel",
+    "LossyChannel",
+    "ReliableChannel",
+    "Transmission",
     "FixedLatency",
     "UniformLatency",
     "ExponentialLatency",

@@ -86,19 +86,25 @@ class Simulator:
             raise SimulationError("run() called re-entrantly from an event handler")
         self._running = True
         executed = 0
+        hit_event_cap = False
         try:
             while self._queue:
                 time, _seq, callback = self._queue[0]
                 if until is not None and time > until:
                     break
                 if max_events is not None and executed >= max_events:
+                    hit_event_cap = True
                     break
                 heapq.heappop(self._queue)
                 self._now = time
                 callback()
                 executed += 1
                 self._events_executed += 1
-            if until is not None and self._now < until and not self._queue:
+            # The horizon was reached (queue drained or next event beyond
+            # ``until``): advance the clock to ``until`` so two runs with the
+            # same horizon always agree on ``now``.  Stopping on the event cap
+            # must NOT jump the clock — the horizon was not actually reached.
+            if until is not None and not hit_event_cap and self._now < until:
                 self._now = until
         finally:
             self._running = False

@@ -5,14 +5,31 @@ process must arrive in the order sent" (§4).  :class:`Channel` enforces
 exactly that: each channel is a point-to-point FIFO pipe whose delivery
 times are drawn from a latency model but clamped to be non-decreasing, so
 reordering can happen *between* channels but never *within* one.
+
+The paper *assumes* reliable FIFO delivery; this module also provides the
+machinery to drop that assumption and win it back:
+
+* :class:`LossyChannel` — a channel subject to a fault model: messages may
+  be dropped, duplicated or hit by delay spikes, and there is **no** FIFO
+  clamp (a delayed message arrives late, after its successors).
+* :class:`ReliableChannel` — layers sequence numbers, cumulative
+  acknowledgements, timeout/retransmit with capped exponential backoff and
+  duplicate suppression over that lossy transport, so FIFO-exactly-once
+  processing is *recovered* rather than assumed.  Acknowledgements are
+  only sent once the destination has **processed** a frame (not merely
+  received it), which together with receiver-side checkpoints makes the
+  protocol survive destination crashes (see
+  :mod:`repro.sim.process` and :class:`repro.merge.process.MergeProcess`).
 """
 
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.errors import SimulationError
+from repro.messages import AckFrame, SequencedFrame
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.kernel import Simulator
@@ -126,4 +143,293 @@ class Channel:
         return (
             f"Channel({self.source.name} -> {self.destination.name}, "
             f"{self.latency!r})"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class Transmission:
+    """One fault decision: what the network does to a single transmission.
+
+    Produced by a fault model (see :class:`repro.faults.ChannelFaultModel`);
+    consumed by :class:`LossyChannel`.  ``duplicates`` is the number of
+    *extra* copies injected; ``extra_delay`` is added on top of the sampled
+    latency (a delay spike).
+    """
+
+    drop: bool = False
+    duplicates: int = 0
+    extra_delay: float = 0.0
+
+
+#: the decision a perfect network makes for every transmission
+CLEAN_TRANSMISSION = Transmission()
+
+
+class LossyChannel(Channel):
+    """A point-to-point channel over a faulty network.
+
+    Each transmission consults the fault model: the message may be dropped,
+    duplicated, or delayed by a spike.  Crucially there is **no** FIFO
+    clamp — each surviving copy is delivered at its own sampled time, so a
+    delay spike reorders messages within the channel.  This is the raw
+    transport :class:`ReliableChannel` recovers FIFO-exactly-once over.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        source: "Process",
+        destination: "Process",
+        latency: LatencyModel | float = 0.0,
+        faults: object | None = None,
+    ) -> None:
+        super().__init__(sim, source, destination, latency)
+        self.faults = faults
+        self.messages_dropped = 0
+        self.messages_duplicated = 0
+
+    def _next_transmission(self, faults: object | None) -> Transmission:
+        if faults is None:
+            return CLEAN_TRANSMISSION
+        return faults.next_transmission()
+
+    def _transmit(self, message: object, deliver, faults: object | None):
+        """Schedule the arrivals of one logical transmission.
+
+        Returns the primary copy's arrival time, or ``None`` if the network
+        dropped it (injected duplicates may still arrive).
+        """
+        decision = self._next_transmission(faults)
+        now = self._sim.now
+        arrival = None
+        if decision.drop:
+            self.messages_dropped += 1
+            self._sim.trace.record(
+                now,
+                "msg_drop",
+                self.source.name,
+                to=self.destination.name,
+                message=type(message).__name__,
+            )
+        else:
+            delay = self.latency.sample(self._sim.rng) + decision.extra_delay
+            arrival = now + delay
+            self._sim.schedule_at(arrival, deliver, message)
+        for _ in range(decision.duplicates):
+            self.messages_duplicated += 1
+            delay = self.latency.sample(self._sim.rng) + decision.extra_delay
+            self._sim.schedule(delay, deliver, message)
+        return arrival
+
+    def send(self, message: object) -> float:
+        """Transmit once; returns the primary arrival time (``now`` if dropped)."""
+        self.messages_sent += 1
+        self._sim.trace.record(
+            self._sim.now,
+            "msg_send",
+            self.source.name,
+            to=self.destination.name,
+            message=type(message).__name__,
+        )
+        arrival = self._transmit(message, self._deliver, self.faults)
+        return arrival if arrival is not None else self._sim.now
+
+
+class ReliableChannel(LossyChannel):
+    """FIFO-exactly-once processing recovered over a lossy transport.
+
+    Sender side: every payload is wrapped in a :class:`SequencedFrame`,
+    kept in an unacknowledged buffer, and retransmitted on timeout with
+    capped exponential backoff until a cumulative :class:`AckFrame` covers
+    it.  Receiver side: frames are re-ordered into sequence, duplicates are
+    suppressed, and each frame is delivered to the destination's mailbox in
+    order.  An ack is only sent once the destination has *processed* the
+    frame (the mailbox ``on_processed`` callback), so a destination crash —
+    which wipes the mailbox — simply leaves those frames unacknowledged and
+    they are retransmitted after the restart.
+
+    The sender's volatile state (next sequence number + unacked buffer) can
+    be checkpointed with :meth:`sender_state` and reinstated with
+    :meth:`restore_sender_state`, which is how a crashed *sender* process
+    resumes without losing in-flight messages (see
+    :class:`repro.merge.process.MergeProcess`).
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        source: "Process",
+        destination: "Process",
+        latency: LatencyModel | float = 0.0,
+        faults: object | None = None,
+        ack_faults: object | None = None,
+        timeout: float = 4.0,
+        backoff_factor: float = 2.0,
+        timeout_cap: float = 32.0,
+    ) -> None:
+        super().__init__(sim, source, destination, latency, faults)
+        if timeout <= 0:
+            raise SimulationError(f"retransmit timeout must be positive: {timeout}")
+        if backoff_factor < 1:
+            raise SimulationError(f"backoff factor must be >= 1: {backoff_factor}")
+        if timeout_cap < timeout:
+            raise SimulationError(
+                f"timeout cap {timeout_cap} below base timeout {timeout}"
+            )
+        self.ack_faults = ack_faults
+        self.timeout = timeout
+        self.backoff_factor = backoff_factor
+        self.timeout_cap = timeout_cap
+        # sender state
+        self._next_seq = 1
+        self._unacked: dict[int, object] = {}
+        self._attempts: dict[int, int] = {}
+        self._timer_token: dict[int, int] = {}
+        self._tokens = 0
+        # receiver state
+        self._expected = 1
+        self._last_processed = 0
+        self._reorder: dict[int, object] = {}
+        self._in_mailbox: set[int] = set()
+        # statistics
+        self.retransmissions = 0
+        self.duplicates_suppressed = 0
+        self.acks_sent = 0
+        destination.register_incoming(self)
+
+    # -- sender ------------------------------------------------------------
+    def send(self, message: object) -> float:
+        """Queue ``message`` for reliable, in-order, exactly-once processing."""
+        seq = self._next_seq
+        self._next_seq += 1
+        self._unacked[seq] = message
+        self._attempts[seq] = 0
+        self.messages_sent += 1
+        self._sim.trace.record(
+            self._sim.now,
+            "msg_send",
+            self.source.name,
+            to=self.destination.name,
+            message=type(message).__name__,
+            seq=seq,
+        )
+        arrival = self._transmit_frame(seq)
+        self._arm_timer(seq)
+        return arrival if arrival is not None else self._sim.now
+
+    def _transmit_frame(self, seq: int):
+        frame = SequencedFrame(seq, self._unacked[seq])
+        return self._transmit(frame, self._on_frame, self.faults)
+
+    def _arm_timer(self, seq: int) -> None:
+        self._tokens += 1
+        token = self._tokens
+        self._timer_token[seq] = token
+        attempt = self._attempts[seq]
+        delay = min(
+            self.timeout * self.backoff_factor**attempt, self.timeout_cap
+        )
+        self._sim.schedule(delay, self._on_timeout, seq, token)
+
+    def _on_timeout(self, seq: int, token: int) -> None:
+        if seq not in self._unacked or self._timer_token.get(seq) != token:
+            return  # acked meanwhile, or superseded by a restored checkpoint
+        self._attempts[seq] += 1
+        self.retransmissions += 1
+        self._sim.trace.record(
+            self._sim.now,
+            "msg_retransmit",
+            self.source.name,
+            to=self.destination.name,
+            seq=seq,
+            attempt=self._attempts[seq],
+        )
+        self._transmit_frame(seq)
+        self._arm_timer(seq)
+
+    def _on_ack(self, frame: AckFrame) -> None:
+        for seq in [s for s in self._unacked if s <= frame.ack]:
+            del self._unacked[seq]
+            self._attempts.pop(seq, None)
+            self._timer_token.pop(seq, None)
+
+    def sender_state(self) -> tuple[int, dict[int, object]]:
+        """Checkpointable sender state: ``(next_seq, unacked buffer)``."""
+        return (self._next_seq, dict(self._unacked))
+
+    def restore_sender_state(self, state: tuple[int, dict[int, object]]) -> None:
+        """Reinstate a checkpointed sender state and retransmit the backlog.
+
+        Resurrecting frames that were acknowledged after the checkpoint is
+        harmless: the receiver's duplicate suppression re-acks them.
+        """
+        next_seq, unacked = state
+        self._next_seq = next_seq
+        self._unacked = dict(unacked)
+        self._attempts = {seq: 0 for seq in self._unacked}
+        self._timer_token.clear()
+        for seq in sorted(self._unacked):
+            self.retransmissions += 1
+            self._transmit_frame(seq)
+            self._arm_timer(seq)
+
+    # -- receiver ----------------------------------------------------------
+    def _on_frame(self, frame: SequencedFrame) -> None:
+        if self.destination.crashed:
+            # Arrived at a dead process: lost with the rest of its volatile
+            # state.  No ack, so the sender will retransmit after restart.
+            self.destination.messages_lost += 1
+            return
+        seq = frame.seq
+        if seq <= self._last_processed:
+            # Stale duplicate (retransmit raced the ack): re-ack so the
+            # sender can clear its buffer.
+            self.duplicates_suppressed += 1
+            self._send_ack()
+            return
+        if seq in self._reorder or seq in self._in_mailbox:
+            self.duplicates_suppressed += 1
+            return
+        self._reorder[seq] = frame.payload
+        while self._expected in self._reorder:
+            ready = self._expected
+            payload = self._reorder.pop(ready)
+            self._in_mailbox.add(ready)
+            self._expected += 1
+            self._sim.trace.record(
+                self._sim.now,
+                "msg_recv",
+                self.destination.name,
+                sender=self.source.name,
+                message=type(payload).__name__,
+                seq=ready,
+            )
+            self.destination.deliver(
+                payload, self.source, on_processed=lambda s=ready: self._on_processed(s)
+            )
+
+    def _on_processed(self, seq: int) -> None:
+        self._in_mailbox.discard(seq)
+        self._last_processed = max(self._last_processed, seq)
+        self._send_ack()
+
+    def _send_ack(self) -> None:
+        self.acks_sent += 1
+        self._transmit(AckFrame(self._last_processed), self._on_ack, self.ack_faults)
+
+    def on_destination_crash(self) -> None:
+        """The destination lost its mailbox: rewind to the processed prefix."""
+        self._reorder.clear()
+        self._in_mailbox.clear()
+        self._expected = self._last_processed + 1
+
+    # -- inspection --------------------------------------------------------
+    @property
+    def unacked(self) -> int:
+        return len(self._unacked)
+
+    def __repr__(self) -> str:
+        return (
+            f"ReliableChannel({self.source.name} -> {self.destination.name}, "
+            f"{self.latency!r}, unacked={len(self._unacked)})"
         )

@@ -12,7 +12,7 @@ statistics recorded here are what the benchmarks report.
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.errors import SimulationError
 from repro.sim.network import Channel, LatencyModel
@@ -33,13 +33,22 @@ class Process:
     def __init__(self, sim: "Simulator", name: str) -> None:
         self.sim = sim
         self.name = name
-        self._inbox: deque[tuple[object, "Process"]] = deque()
+        self._inbox: deque[tuple[object, "Process", Callable[[], None] | None]] = (
+            deque()
+        )
         self._busy = False
         self._outgoing: dict[str, Channel] = {}
+        # crash/restart state: the epoch invalidates in-flight service events
+        # scheduled before a crash (the kernel has no cancel API).
+        self._crashed = False
+        self._epoch = 0
+        self._incoming: list[Channel] = []
         # statistics
         self.messages_handled = 0
         self.busy_time = 0.0
         self.max_queue_length = 0
+        self.crashes = 0
+        self.messages_lost = 0
         self._queue_area = 0.0  # integral of queue length over time
         self._last_stat_time = 0.0
 
@@ -51,6 +60,20 @@ class Process:
         channel = Channel(self.sim, self, destination, latency)
         self._outgoing[destination.name] = channel
         return channel
+
+    def attach(self, channel: Channel) -> Channel:
+        """Register a pre-built channel (e.g. a :class:`ReliableChannel`)."""
+        if channel.source is not self:
+            raise SimulationError(
+                f"cannot attach a channel sourced at {channel.source.name!r} "
+                f"to {self.name!r}"
+            )
+        self._outgoing[channel.destination.name] = channel
+        return channel
+
+    def register_incoming(self, channel: Channel) -> None:
+        """Channels that need crash notifications register themselves here."""
+        self._incoming.append(channel)
 
     def channel_to(self, name: str) -> Channel:
         try:
@@ -70,10 +93,27 @@ class Process:
         return self.channel_to(name).send(message)
 
     # -- mailbox / service loop ------------------------------------------------
-    def deliver(self, message: object, sender: "Process") -> None:
-        """Called by channels when a message arrives."""
+    def deliver(
+        self,
+        message: object,
+        sender: "Process",
+        on_processed: Callable[[], None] | None = None,
+    ) -> None:
+        """Called by channels when a message arrives.
+
+        ``on_processed`` (used by :class:`~repro.sim.network.ReliableChannel`)
+        is invoked after :meth:`handle` completes — i.e. once the message has
+        actually been *processed*, not merely enqueued — so delivery
+        acknowledgements survive a crash that wipes the mailbox.
+        """
+        if self._crashed:
+            self.messages_lost += 1
+            self.trace(
+                "msg_lost", sender=sender.name, message=type(message).__name__
+            )
+            return
         self._account_queue()
-        self._inbox.append((message, sender))
+        self._inbox.append((message, sender, on_processed))
         self.max_queue_length = max(self.max_queue_length, len(self._inbox))
         if not self._busy:
             self._start_next()
@@ -87,24 +127,80 @@ class Process:
         if not self._inbox:
             return
         self._busy = True
-        message, sender = self._inbox[0]
+        message, sender, _on_processed = self._inbox[0]
         service = self.service_time(message)
         if service < 0:
             raise SimulationError(
                 f"{self.name}.service_time returned negative {service}"
             )
-        self.sim.schedule(service, self._finish, message, sender, service)
+        self.sim.schedule(service, self._finish, message, sender, service, self._epoch)
 
-    def _finish(self, message: object, sender: "Process", service: float) -> None:
+    def _finish(
+        self, message: object, sender: "Process", service: float, epoch: int
+    ) -> None:
+        if epoch != self._epoch:
+            return  # the process crashed while this message was in service
         self._account_queue()
-        self._inbox.popleft()
+        _message, _sender, on_processed = self._inbox.popleft()
         self._busy = False
         self.busy_time += service
         self.messages_handled += 1
         self.handle(message, sender)
+        # Checkpoint hooks run after handle() so the saved state covers this
+        # message; only then is the sender's channel told it was processed.
+        self.on_handled(message, sender)
+        if on_processed is not None:
+            on_processed()
         # handle() may have sent messages but cannot have consumed the inbox.
         if self._inbox and not self._busy:
             self._start_next()
+
+    # -- crash / restart ---------------------------------------------------------
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    def crash(self) -> None:
+        """Fail-stop: lose the mailbox and all volatile in-service work.
+
+        Durable state is whatever the subclass restores in
+        :meth:`on_restart` (see :class:`~repro.merge.process.MergeProcess`
+        checkpoints).  Reliable channels into this process are notified so
+        unacknowledged messages are retransmitted after the restart.
+        """
+        if self._crashed:
+            raise SimulationError(f"{self.name} is already crashed")
+        self._account_queue()
+        lost = len(self._inbox)
+        self._inbox.clear()
+        self._busy = False
+        self._crashed = True
+        self._epoch += 1
+        self.crashes += 1
+        self.messages_lost += lost
+        self.trace("crash", lost_messages=lost)
+        for channel in self._incoming:
+            on_crash = getattr(channel, "on_destination_crash", None)
+            if on_crash is not None:
+                on_crash()
+        self.on_crash()
+
+    def restart(self) -> None:
+        """Recover from a crash; subclasses restore durable state first."""
+        if not self._crashed:
+            raise SimulationError(f"{self.name} is not crashed")
+        self._crashed = False
+        self.trace("restart")
+        self.on_restart()
+
+    def on_crash(self) -> None:
+        """Subclass hook: called after volatile state is discarded."""
+
+    def on_restart(self) -> None:
+        """Subclass hook: restore durable state (checkpoints) here."""
+
+    def on_handled(self, message: object, sender: "Process") -> None:
+        """Subclass hook: called after each handled message (checkpointing)."""
 
     # -- behaviour (subclass API) -------------------------------------------
     def service_time(self, message: object) -> float:

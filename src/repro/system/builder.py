@@ -31,7 +31,8 @@ from repro.consistency import (
     replay_source_states,
 )
 from repro.consistency.checker import ConsistencyReport
-from repro.errors import ReproError
+from repro.errors import FaultError, ReproError
+from repro.faults.plan import FaultPlan
 from repro.integrator.basedata import BaseDataService
 from repro.integrator.integrator import Integrator
 from repro.integrator.relevance import RelevanceFilter
@@ -54,6 +55,8 @@ from repro.merge.submission import (
 from repro.relational.database import Database
 from repro.relational.expressions import ViewDefinition
 from repro.sim.kernel import Simulator
+from repro.sim.network import Channel, LatencyModel, LossyChannel, ReliableChannel
+from repro.sim.process import Process
 from repro.sources.multisource import GlobalTransactionCoordinator
 from repro.sources.source import Source
 from repro.sources.transactions import SourceTransaction
@@ -92,10 +95,52 @@ class WarehouseSystem:
         self._build()
 
     # ------------------------------------------------------------------ build
+    def _connect(self, source: Process, destination: Process,
+                 latency: "LatencyModel | float") -> Channel:
+        """Wire one channel, honouring the configured fault plan.
+
+        Without a plan this is a perfect FIFO :class:`Channel`.  With one,
+        every connection becomes a :class:`ReliableChannel` running the
+        recovery protocol over the lossy transport (or, with
+        ``reliable=False``, a bare :class:`LossyChannel` so the run
+        demonstrates what breaks without recovery).
+        """
+        plan = self.config.fault_plan
+        if plan is None:
+            return source.connect(destination, latency)
+        faults = (
+            plan.faults_for(source.name, destination.name)
+            if plan.faulty_network
+            else None
+        )
+        if not plan.reliable:
+            channel: Channel = LossyChannel(
+                self.sim, source, destination, latency, faults=faults
+            )
+        else:
+            ack_faults = (
+                plan.ack_faults_for(source.name, destination.name)
+                if plan.faulty_network
+                else None
+            )
+            channel = ReliableChannel(
+                self.sim,
+                source,
+                destination,
+                latency,
+                faults=faults,
+                ack_faults=ack_faults,
+                timeout=plan.retransmit_timeout,
+                backoff_factor=plan.backoff_factor,
+                timeout_cap=plan.timeout_cap,
+            )
+        return source.attach(channel)
+
     def _build(self) -> None:
         cfg = self.config
         schemas = dict(self.world.schemas)
         view_names = tuple(d.name for d in self.definitions)
+        self.processes: dict[str, Process] = {}
 
         # Warehouse + store, views materialized at ss_0.
         self.store = ViewStore(
@@ -131,9 +176,13 @@ class WarehouseSystem:
                 per_message_cost=cfg.merge_message_cost,
                 txn_id_start=index + 1,
                 txn_id_step=len(groups),
+                # Under a fault plan the merge checkpoints after every
+                # handled message so a crash/restart resumes without
+                # violating MVC.
+                checkpointing=cfg.fault_plan is not None,
             )
-            merge.connect(self.warehouse, cfg.latency_merge_warehouse)
-            self.warehouse.connect(merge, cfg.latency_warehouse_merge)
+            self._connect(merge, self.warehouse, cfg.latency_merge_warehouse)
+            self._connect(self.warehouse, merge, cfg.latency_warehouse_merge)
             self.merge_processes.append(merge)
             merge_groups[name] = group
 
@@ -153,12 +202,13 @@ class WarehouseSystem:
             manager = self._make_manager(
                 definition, schemas, view_to_merge[definition.name]
             )
-            manager.connect(
+            self._connect(
+                manager,
                 self._merge_by_name(view_to_merge[definition.name]),
                 cfg.latency_vm_merge,
             )
-            manager.connect(self.service, cfg.latency_vm_service)
-            self.service.connect(manager, cfg.latency_vm_service)
+            self._connect(manager, self.service, cfg.latency_vm_service)
+            self._connect(self.service, manager, cfg.latency_vm_service)
             if relevance is not None:
                 # Keep the replica sigma-restricted in lockstep with the
                 # integrator's routing filter (see RelevanceFilter docs).
@@ -191,20 +241,38 @@ class WarehouseSystem:
             per_update_cost=cfg.integrator_cost,
         )
         for merge in self.merge_processes:
-            self.integrator.connect(merge, cfg.latency_integrator_merge)
+            self._connect(self.integrator, merge, cfg.latency_integrator_merge)
         for manager in self.view_managers.values():
-            self.integrator.connect(manager, cfg.latency_integrator_vm)
-        self.integrator.connect(self.service, cfg.latency_integrator_service)
+            self._connect(self.integrator, manager, cfg.latency_integrator_vm)
+        self._connect(self.integrator, self.service, cfg.latency_integrator_service)
 
         # Sources and the global coordinator.
         owners = sorted({self.world.owner_of(r) for r in self.world.schemas})
         self.sources: dict[str, Source] = {}
         for owner in owners:
             source = Source(self.sim, owner, self.world)
-            source.connect(self.integrator, cfg.latency_source_integrator)
+            self._connect(source, self.integrator, cfg.latency_source_integrator)
             self.sources[owner] = source
         self.coordinator = GlobalTransactionCoordinator(self.sim, self.world)
-        self.coordinator.connect(self.integrator, cfg.latency_source_integrator)
+        self._connect(
+            self.coordinator, self.integrator, cfg.latency_source_integrator
+        )
+
+        # Process registry (used by fault plans and diagnostics).
+        for process in (
+            self.warehouse,
+            self.service,
+            self.integrator,
+            self.coordinator,
+            *self.merge_processes,
+            *self.view_managers.values(),
+            *self.sources.values(),
+        ):
+            self.processes[process.name] = process
+
+        # Scheduled crash/restart pairs from the fault plan.
+        if cfg.fault_plan is not None:
+            self._schedule_crashes(cfg.fault_plan)
 
     def _uses_complete_n(self) -> bool:
         cfg = self.config
@@ -216,6 +284,21 @@ class WarehouseSystem:
             if merge.name == name:
                 return merge
         raise ReproError(f"no merge process named {name!r}")
+
+    def process_by_name(self, name: str) -> Process:
+        """Any Figure-1 process by name (e.g. "merge", "warehouse", "vm_V1")."""
+        try:
+            return self.processes[name]
+        except KeyError:
+            raise FaultError(
+                f"no process named {name!r} (have: {sorted(self.processes)})"
+            ) from None
+
+    def _schedule_crashes(self, plan: FaultPlan) -> None:
+        for crash in plan.crashes:
+            process = self.process_by_name(crash.process)
+            self.sim.schedule_at(crash.at, process.crash)
+            self.sim.schedule_at(crash.at + crash.restart_after, process.restart)
 
     def _make_algorithm(
         self, views: tuple[str, ...], name: str

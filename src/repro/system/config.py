@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Mapping
 
 from repro.errors import ReproError
+from repro.faults.plan import FaultPlan
 from repro.sim.network import LatencyModel
 from repro.viewmgr.base import CostModel, default_cost
 
@@ -75,6 +76,9 @@ class SystemConfig:
     latency_vm_service: LatencyModel | float = 1.0
     latency_integrator_service: LatencyModel | float = 0.0
 
+    # fault injection (None = the paper's perfect environment)
+    fault_plan: FaultPlan | None = None
+
     # bookkeeping
     seed: int = 0
     record_history: bool = True
@@ -108,6 +112,10 @@ class SystemConfig:
             raise ReproError(f"merge_groups must be >= 1, got {self.merge_groups}")
         if self.block_size < 1:
             raise ReproError(f"block_size must be >= 1, got {self.block_size}")
+        if self.fault_plan is not None and not isinstance(self.fault_plan, FaultPlan):
+            raise ReproError(
+                f"fault_plan must be a FaultPlan, got {type(self.fault_plan).__name__}"
+            )
 
     def kind_for(self, view: str) -> str:
         return self.manager_kinds.get(view, self.manager_kind)

@@ -92,11 +92,22 @@ class RunMetrics:
 
 
 def _percentile(values: list[float], fraction: float) -> float:
+    """Linear-interpolated percentile (numpy's default method).
+
+    Nearest-rank via ``round()`` biases small samples — e.g. the p95 of ten
+    values jumps straight to the maximum — so interpolate between the two
+    bracketing order statistics instead.
+    """
     if not values:
         return 0.0
     ordered = sorted(values)
-    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
-    return ordered[index]
+    if len(ordered) == 1:
+        return ordered[0]
+    position = fraction * (len(ordered) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(ordered) - 1)
+    weight = position - lower
+    return ordered[lower] * (1.0 - weight) + ordered[upper] * weight
 
 
 def staleness_per_update(system: "WarehouseSystem") -> dict[int, float]:

@@ -1,0 +1,123 @@
+"""Tests for fault plans and per-channel fault models."""
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults.plan import ChannelFaultModel, CrashSpec, FaultPlan
+
+
+class TestChannelFaultModel:
+    def test_same_seed_same_decisions(self):
+        def decisions(n=50):
+            model = ChannelFaultModel(
+                drop_rate=0.2, duplicate_rate=0.1, delay_spike_rate=0.1, seed=7
+            )
+            return [model.next_transmission() for _ in range(n)]
+
+        assert decisions() == decisions()
+
+    def test_different_seeds_differ(self):
+        a = ChannelFaultModel(drop_rate=0.5, seed=1)
+        b = ChannelFaultModel(drop_rate=0.5, seed=2)
+        assert [a.next_transmission() for _ in range(50)] != [
+            b.next_transmission() for _ in range(50)
+        ]
+
+    def test_zero_rates_always_clean(self):
+        model = ChannelFaultModel(seed=3)
+        for _ in range(20):
+            t = model.next_transmission()
+            assert not t.drop and t.duplicates == 0 and t.extra_delay == 0.0
+        assert model.decisions == 20
+
+    def test_raising_one_rate_keeps_other_patterns(self):
+        """Three draws per decision: the drop pattern for a seed is identical
+        whether or not duplication is also enabled."""
+        drops_only = ChannelFaultModel(drop_rate=0.3, seed=11)
+        both = ChannelFaultModel(drop_rate=0.3, duplicate_rate=0.5, seed=11)
+        a = [drops_only.next_transmission().drop for _ in range(100)]
+        b = [both.next_transmission().drop for _ in range(100)]
+        assert a == b
+
+    def test_rate_validation(self):
+        with pytest.raises(FaultError, match="drop_rate"):
+            ChannelFaultModel(drop_rate=1.5)
+        with pytest.raises(FaultError, match="duplicate_rate"):
+            ChannelFaultModel(duplicate_rate=-0.1)
+        with pytest.raises(FaultError, match="delay_spike_rate"):
+            ChannelFaultModel(delay_spike_rate=2.0)
+        with pytest.raises(FaultError, match="delay_spike"):
+            ChannelFaultModel(delay_spike=-1.0)
+
+
+class TestCrashSpec:
+    def test_valid(self):
+        spec = CrashSpec("merge", at=10.0, restart_after=2.0)
+        assert spec.process == "merge"
+
+    def test_empty_name(self):
+        with pytest.raises(FaultError, match="process name"):
+            CrashSpec("", at=1.0)
+
+    def test_negative_time(self):
+        with pytest.raises(FaultError, match="crash time"):
+            CrashSpec("merge", at=-1.0)
+
+    def test_nonpositive_restart(self):
+        with pytest.raises(FaultError, match="restart_after"):
+            CrashSpec("merge", at=1.0, restart_after=0.0)
+
+
+class TestFaultPlan:
+    def test_channel_seed_stable_and_directional(self):
+        plan = FaultPlan(seed=42)
+        assert plan.channel_seed("a", "b") == plan.channel_seed("a", "b")
+        assert plan.channel_seed("a", "b") != plan.channel_seed("b", "a")
+        assert plan.channel_seed("a", "b") != plan.channel_seed("a", "b", salt="ack")
+        assert plan.channel_seed("a", "b") != FaultPlan(seed=43).channel_seed("a", "b")
+
+    def test_faults_for_reproducible(self):
+        plan = FaultPlan(seed=5, drop_rate=0.4)
+        a = plan.faults_for("x", "y")
+        b = plan.faults_for("x", "y")
+        assert [a.next_transmission() for _ in range(30)] == [
+            b.next_transmission() for _ in range(30)
+        ]
+
+    def test_ack_faults_independent_stream(self):
+        plan = FaultPlan(seed=5, drop_rate=0.4)
+        data = plan.faults_for("x", "y")
+        ack = plan.ack_faults_for("x", "y")
+        assert [data.next_transmission() for _ in range(30)] != [
+            ack.next_transmission() for _ in range(30)
+        ]
+
+    def test_faulty_network_flag(self):
+        assert not FaultPlan().faulty_network
+        assert FaultPlan(drop_rate=0.01).faulty_network
+        assert FaultPlan(duplicate_rate=0.01).faulty_network
+        assert FaultPlan(delay_spike_rate=0.01).faulty_network
+
+    def test_crashes_coerced_to_tuple(self):
+        plan = FaultPlan(crashes=[CrashSpec("merge", at=1.0)])
+        assert isinstance(plan.crashes, tuple)
+
+    def test_validation_delegates(self):
+        with pytest.raises(FaultError):
+            FaultPlan(drop_rate=2.0)
+        with pytest.raises(FaultError):
+            FaultPlan(retransmit_timeout=0.0)
+        with pytest.raises(FaultError):
+            FaultPlan(backoff_factor=0.9)
+        with pytest.raises(FaultError):
+            FaultPlan(retransmit_timeout=4.0, timeout_cap=1.0)
+
+    def test_describe(self):
+        plan = FaultPlan(
+            seed=9, drop_rate=0.05, reliable=False,
+            crashes=(CrashSpec("merge", at=12.0, restart_after=3.0),),
+        )
+        text = plan.describe()
+        assert "drop=0.05" in text
+        assert "UNRELIABLE" in text
+        assert "crash merge@12+3" in text

@@ -69,6 +69,28 @@ class TestBasicFlow:
             spa.receive_action_list(make_al("V1", [1, 2]))
 
 
+class TestDirectProcessRow:
+    """Regression: ``_emitted`` must exist from construction — the crash
+    recovery path calls ``_process_row`` without a receive_* event first."""
+
+    def test_emitted_initialised_empty(self):
+        assert SimplePaintingAlgorithm(("V1",))._emitted == []
+
+    def test_process_row_directly_without_prior_event(self):
+        spa = SimplePaintingAlgorithm(("V1",))
+        spa.vut.allocate_row(1, frozenset({"V1"}))
+        spa.vut.set_color(1, "V1", Color.RED)
+        spa._wt[1].append(make_al("V1", [1]))
+        spa._process_row(1)  # used to raise AttributeError
+        assert unit_summary(spa._emitted) == [((1,), ("V1",))]
+        assert 1 not in spa.vut
+
+    def test_process_row_on_missing_row_is_noop(self):
+        spa = SimplePaintingAlgorithm(("V1",))
+        spa._process_row(99)
+        assert spa._emitted == []
+
+
 class TestOrdering:
     def test_blocked_by_earlier_red_in_same_column(self, spa):
         """Row 2's V1 list cannot apply before row 1's V1 list."""

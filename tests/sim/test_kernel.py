@@ -69,6 +69,36 @@ class TestRunBounds:
         sim.run(until=7.0)
         assert sim.now == 7.0
 
+    def test_until_advances_time_with_events_beyond_horizon(self):
+        """Regression: the clock must reach ``until`` even when events remain
+        past the horizon, so two runs with the same horizon agree on ``now``."""
+        busy = Simulator()
+        busy.schedule(1.0, lambda: None)
+        busy.schedule(10.0, lambda: None)  # beyond the horizon
+        busy.run(until=5.0)
+
+        idle = Simulator()
+        idle.schedule(1.0, lambda: None)
+        idle.run(until=5.0)
+
+        assert busy.now == 5.0
+        assert busy.now == idle.now
+        assert busy.pending_events == 1
+
+    def test_until_advances_time_when_no_event_before_horizon(self):
+        sim = Simulator()
+        sim.schedule(10.0, lambda: None)
+        sim.run(until=5.0)
+        assert sim.now == 5.0
+
+    def test_max_events_stop_does_not_jump_clock(self):
+        """Stopping on the event cap must not pretend the horizon was reached."""
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run(until=100.0, max_events=1)
+        assert sim.now == 1.0
+
     def test_event_exactly_at_until_runs(self):
         sim = Simulator()
         log = []

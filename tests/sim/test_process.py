@@ -119,6 +119,84 @@ class TestServiceDiscipline:
             sim.run()
 
 
+class TestCrashRestart:
+    def test_crash_wipes_inbox_and_counts_losses(self):
+        sim = Simulator()
+        server = Echo(sim, "s", service=10.0)
+        client = Echo(sim, "c")
+        client.connect(server, 0.0)
+        for i in range(3):
+            sim.schedule(0.0, client.send, "s", i)
+        sim.schedule(5.0, server.crash)
+        sim.run()
+        assert server.handled == []  # first message was still in service
+        assert server.queue_length == 0
+        assert server.crashes == 1
+        assert server.messages_lost == 3
+        assert len(sim.trace.of_kind("crash")) == 1
+
+    def test_crash_invalidates_in_service_message(self):
+        """The _finish event scheduled before the crash must not fire the
+        handler after restart (epoch check)."""
+        sim = Simulator()
+        server = Echo(sim, "s", service=10.0)
+        client = Echo(sim, "c")
+        client.connect(server, 0.0)
+        sim.schedule(0.0, client.send, "s", "doomed")
+        sim.schedule(5.0, server.crash)
+        sim.schedule(6.0, server.restart)
+        sim.schedule(20.0, client.send, "s", "fresh")
+        sim.run()
+        assert [m for _t, m in server.handled] == ["fresh"]
+
+    def test_deliver_while_crashed_drops_message(self):
+        sim = Simulator()
+        server = Echo(sim, "s")
+        client = Echo(sim, "c")
+        client.connect(server, 2.0)
+        sim.schedule(0.0, client.send, "s", "x")  # arrives at t=2
+        sim.schedule(1.0, server.crash)
+        sim.run()
+        assert server.handled == []
+        assert server.messages_lost == 1
+        assert len(sim.trace.of_kind("msg_lost")) == 1
+
+    def test_restart_resumes_service(self):
+        sim = Simulator()
+        server = Echo(sim, "s")
+        client = Echo(sim, "c")
+        client.connect(server, 0.0)
+        sim.schedule(0.0, server.crash)
+        sim.schedule(1.0, server.restart)
+        sim.schedule(2.0, client.send, "s", "back")
+        sim.run()
+        assert [m for _t, m in server.handled] == ["back"]
+        assert not server.crashed
+        assert len(sim.trace.of_kind("restart")) == 1
+
+    def test_double_crash_rejected(self):
+        sim = Simulator()
+        p = Echo(sim, "p")
+        p.crash()
+        with pytest.raises(SimulationError, match="already crashed"):
+            p.crash()
+
+    def test_restart_without_crash_rejected(self):
+        sim = Simulator()
+        p = Echo(sim, "p")
+        with pytest.raises(SimulationError, match="not crashed"):
+            p.restart()
+
+    def test_attach_rejects_foreign_channel(self):
+        from repro.sim.network import Channel
+
+        sim = Simulator()
+        a, b, c = Echo(sim, "a"), Echo(sim, "b"), Echo(sim, "c")
+        channel = Channel(sim, a, b, 0.0)
+        with pytest.raises(SimulationError, match="cannot attach"):
+            c.attach(channel)
+
+
 class TestTracing:
     def test_trace_helper_records(self):
         sim = Simulator()

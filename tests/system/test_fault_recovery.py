@@ -1,0 +1,131 @@
+"""End-to-end fault recovery: MVC must survive an actively hostile network.
+
+These are the acceptance tests for the fault-injection layer: a full
+Figure-1 system run under a :class:`FaultPlan` (message drops, duplicates,
+delay spikes, and a merge-process crash/restart) must still satisfy the
+paper's multiple-view consistency definitions, because the reliable
+channels and merge checkpoints recover exactly the guarantees the paper
+assumes.  With ``reliable=False`` the same faults must be *detected* —
+either a protocol error or an MVC violation — never silently absorbed.
+"""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.faults import CrashSpec, FaultPlan
+from repro.system.builder import WarehouseSystem
+from repro.system.config import SystemConfig
+from repro.workloads.generator import UpdateStreamGenerator, WorkloadSpec, post_stream
+from repro.workloads.schemas import paper_views_example1, paper_world
+
+
+def faulted_system(plan, seed=3, updates=25):
+    world = paper_world()
+    spec = WorkloadSpec(updates=updates, rate=2.0, seed=seed, mix=(0.7, 0.15, 0.15))
+    system = WarehouseSystem(
+        world, paper_views_example1(),
+        SystemConfig(manager_kind="complete", seed=seed, fault_plan=plan),
+    )
+    post_stream(system, UpdateStreamGenerator(world, spec).transactions())
+    return system
+
+
+CRASH_PLAN = FaultPlan(
+    seed=17,
+    drop_rate=0.02,
+    duplicate_rate=0.01,
+    delay_spike_rate=0.02,
+    delay_spike=8.0,
+    crashes=(CrashSpec("merge", at=12.0, restart_after=4.0),),
+)
+
+
+class TestRecovery:
+    def test_mvc_preserved_under_drops_and_merge_crash(self):
+        """The headline guarantee: >=1% drops plus a merge crash/restart,
+        and the run is still MVC-complete."""
+        system = faulted_system(CRASH_PLAN)
+        system.run()
+        merge = system.merge_processes[0]
+        assert merge.crashes == 1
+        assert merge.restores == 1
+        assert merge.checkpoints_taken > 0
+        assert system.check_mvc("complete").ok
+        assert system.classify() == "complete"
+
+    def test_faults_actually_fired(self):
+        """The run above is only meaningful if the network really misbehaved."""
+        system = faulted_system(CRASH_PLAN)
+        system.run()
+        drops = len(system.sim.trace.of_kind("msg_drop"))
+        retransmissions = len(system.sim.trace.of_kind("msg_retransmit"))
+        assert drops > 0
+        assert retransmissions > 0
+
+    def test_deterministic_under_faults(self):
+        def run_once():
+            system = faulted_system(CRASH_PLAN)
+            system.run()
+            return system.metrics().to_dict()
+
+        assert run_once() == run_once()
+
+    def test_clean_plan_matches_no_plan_semantics(self):
+        """A zero-rate reliable plan still runs to a complete state."""
+        system = faulted_system(FaultPlan(seed=1))
+        system.run()
+        assert system.check_mvc("complete").ok
+
+    def test_heavier_faults_still_recover(self):
+        plan = FaultPlan(seed=23, drop_rate=0.05, duplicate_rate=0.02,
+                         delay_spike_rate=0.03, delay_spike=10.0)
+        system = faulted_system(plan, updates=20)
+        system.run()
+        assert system.check_mvc("complete").ok
+
+
+class TestUnreliableBaseline:
+    def test_raw_lossy_network_breaks_loudly(self):
+        """Without the recovery layer the paper's delivery assumptions are
+        simply violated: the run must fail loudly (protocol error) or fail
+        the MVC check — never pretend to be consistent."""
+        plan = FaultPlan(seed=17, drop_rate=0.05, reliable=False)
+        system = faulted_system(plan)
+        try:
+            system.run()
+        except ReproError:
+            return  # a dropped protocol message tripped an invariant: good
+        assert not system.check_mvc("complete").ok
+
+    def test_crash_without_checkpointing_channels_detected(self):
+        plan = FaultPlan(
+            seed=17, drop_rate=0.03, reliable=False,
+            crashes=(CrashSpec("merge", at=12.0, restart_after=4.0),),
+        )
+        system = faulted_system(plan)
+        try:
+            system.run()
+        except ReproError:
+            return
+        assert not system.check_mvc("complete").ok
+
+
+class TestCrashScheduling:
+    def test_unknown_process_name_rejected(self):
+        from repro.errors import FaultError
+
+        plan = FaultPlan(crashes=(CrashSpec("no-such-process", at=1.0),))
+        with pytest.raises(FaultError, match="no-such-process"):
+            faulted_system(plan)
+
+    def test_view_manager_crash_recovers(self):
+        """Crashing a stateless-ish process (a view manager) also recovers:
+        its unacked input is simply retransmitted."""
+        plan = FaultPlan(
+            seed=5, drop_rate=0.01,
+            crashes=(CrashSpec("vm:V1", at=8.0, restart_after=3.0),),
+        )
+        system = faulted_system(plan, updates=15)
+        system.run()
+        assert system.process_by_name("vm:V1").crashes == 1
+        assert system.check_mvc("complete").ok
