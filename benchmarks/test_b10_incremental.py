@@ -11,6 +11,10 @@ sizes, the wall-clock cost of
 and reports the speedup.  Expected shape: recomputation cost grows with
 |R| + |S| while the incremental cost stays roughly flat, so the speedup
 grows with base size.
+
+Paper question: §1's premise (citing [16, 13]) — incremental
+maintenance beats recomputation at volume.  Reads: wall-clock per
+maintenance strategy and base size; no simulation metrics are involved.
 """
 
 import time

@@ -13,6 +13,10 @@ transactions spanning two sources, and checks that
 
 It also shows the contrast: the same stream with convergent coordination
 produces states where only half of a global transaction is visible.
+
+Paper question: §6.2 — multi-source transactions must be all-or-nothing
+across views.  Reads: ``warehouse.commits``, per-transaction VUT row
+counts, and the MVC verdict.
 """
 
 from repro.sources.update import Update

@@ -9,6 +9,10 @@ architecture and measures
   (MVC-complete run);
 * cost: incremental aggregate deltas vs full re-aggregation as the fact
   table grows.
+
+Paper question: §1.2 — "aggregate views need to use different
+maintenance algorithms than other views" (extension).  Reads:
+``classify()`` verdicts plus wall-clock for incremental vs re-aggregation.
 """
 
 import time

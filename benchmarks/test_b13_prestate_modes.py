@@ -13,6 +13,10 @@ The experiment runs the same workload under each and compares service
 query traffic, staleness and makespan — and confirms all three verify the
 same MVC level.  The broken fourth option (``naive``: current-state reads,
 no compensation) is measured too, as the cautionary row.
+
+Paper question: §1.1 Problem 3 — where does delta computation get its
+pre-state?  Reads: ``RunMetrics.makespan`` / ``mean_staleness`` and
+service query counts per acquisition mode.
 """
 
 from repro.system.config import SystemConfig

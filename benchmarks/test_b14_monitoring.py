@@ -15,6 +15,11 @@ measuring
 Expected shape: longer periods mean fewer, bigger observed transactions
 and staleness that grows roughly with period/2 + constant, while MVC never
 degrades.
+
+Paper question: WHIPS wrappers (§1, [WHIPS]) — what does snapshot-diff
+monitoring cost in observation granularity and freshness?  Reads:
+``warehouse.commits``, warehouse ``history`` length, and per-update
+staleness against the *observed* schedule per poll period.
 """
 
 from repro.sources.monitor import SilentSource, SnapshotDiffMonitor

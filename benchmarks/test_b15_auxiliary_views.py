@@ -15,6 +15,11 @@ evaluated at some consistent source state.
 * With MVC coordination (SPA), every derived V is legitimate.
 * With pass-through maintenance, derived Vs contain phantom join rows
   that never existed at any source state — the paper's warning realised.
+
+Paper question: §1.1's second motivation — auxiliary views must be
+mutually consistent for derived-view computation to be legitimate.
+Reads: warehouse ``history`` states, derived-view equality, and
+``check_mvc`` / ``classify()`` verdicts.
 """
 
 from repro.relational.algebra import evaluate

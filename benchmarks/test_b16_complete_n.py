@@ -8,6 +8,10 @@ The experiment sweeps N over a fixed workload and reports warehouse
 transactions, makespan and staleness, confirming the guarantee ladder:
 N = 1 behaves like complete maintenance; larger N trades state granularity
 (fewer, coarser warehouse states) for amortised work.
+
+Paper question: §6.3 — what does complete-N's block size N trade?
+Reads: ``warehouse.commits``, ``RunMetrics.makespan`` /
+``mean_staleness``, and the verified consistency ladder per N.
 """
 
 from repro.system.config import SystemConfig

@@ -15,6 +15,13 @@ Shape claims:
 * staleness rises monotonically-ish with the fault rate (retransmit
   latency is the price), while every update still gets through,
 * for a fixed seed each configuration is bit-for-bit reproducible.
+
+Paper question: §4's delivery assumption, inverted — what does winning
+reliability back cost when the network is faulty?  Reads:
+``RunMetrics.mean_staleness`` / ``p95_staleness`` / throughput, channel
+``retransmissions`` / ``duplicates_suppressed`` (registry
+``chan_retransmissions`` / ``chan_duplicates_suppressed``), and the
+``msg_drop`` / ``msg_retransmit`` trace events per drop rate.
 """
 
 from repro.faults import CrashSpec, FaultPlan

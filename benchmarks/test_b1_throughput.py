@@ -16,6 +16,11 @@ throughput of
 Expected shape: once delta computation dominates, the concurrent
 architecture wins by roughly the number of views computable in parallel;
 PA (strong managers, batching under load) is at least as fast as SPA.
+
+Paper question: §1.1 — is the sequential single-integrator "simplest
+solution" acceptable at high update rates, and how much does the
+Figure-1 concurrent architecture win?  Reads: virtual makespan
+(``sim.now``) per variant; throughput and speedups are derived from it.
 """
 
 from repro.system.config import SystemConfig

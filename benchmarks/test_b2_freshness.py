@@ -15,6 +15,12 @@ rates:
 Expected shape: coordination costs some freshness over pass-through (held
 action lists), the premium stays bounded at moderate load, and everything
 degrades as the system approaches saturation.
+
+Paper question: §7 — "the effect of the merging process on view
+freshness".  Reads: ``RunMetrics.mean_staleness`` / ``p95_staleness`` /
+``max_staleness`` — the per-update source-commit→warehouse-visibility
+lag, the same quantity ``UpdateLineage.latency`` reports per update
+(``python -m repro inspect`` shows where any one update's lag went).
 """
 
 from repro.system.config import SystemConfig

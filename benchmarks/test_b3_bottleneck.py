@@ -13,6 +13,12 @@ utilisation, queue growth, and staleness for a single merge process vs the
 Expected shape: the single merge saturates (utilisation -> 1, staleness
 explodes) at roughly one third of the load the partitioned configuration
 sustains.
+
+Paper question: §7 / §6.1 — "under which update load the merge process
+becomes a bottleneck", and does the §6.1 split recover it?  Reads: merge
+``utilisation()`` and ``mean_queue_length()`` (registry instruments
+``proc_busy_time`` / ``proc_queue_length``) plus
+``RunMetrics.mean_staleness`` per rate.
 """
 
 from repro.system.config import SystemConfig

@@ -13,6 +13,11 @@ verified MVC level.
 Expected shape: bigger batches => fewer warehouse transactions and lower
 makespan under high overhead, but the runs verify only MVC-strong (batch
 size 1 remains MVC-complete).
+
+Paper question: §4.3 — what does batching (BWT) buy and what does it
+cost?  Reads: ``warehouse.commits`` (transaction count),
+``RunMetrics.makespan`` / ``mean_staleness``, and the verified MVC level
+per batch size.
 """
 
 from repro.system.config import SystemConfig

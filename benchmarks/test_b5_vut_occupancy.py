@@ -11,6 +11,11 @@ regimes:
   how many updates flow through;
 * straggler — one manager 25x slower: unapplied rows pile up behind it,
   bounded only by the straggler's backlog.
+
+Paper question: §4.2 — "the actual number [of VUT rows] is small in a
+system where no view manager is a bottleneck".  Reads: the ``vut_size``
+trace events (equivalently the ``merge_vut_size`` timeline gauge in
+``sim.metrics``) after every merge event, per regime.
 """
 
 from repro.system.builder import WarehouseSystem

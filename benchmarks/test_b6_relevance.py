@@ -11,6 +11,11 @@ action-list traffic, and total work.
 Expected shape: filtering removes a substantial share of view routings for
 selective views while leaving results identical (both runs MVC-complete
 with identical final views).
+
+Paper question: §3.2 — how much update traffic can selection-condition
+relevance filtering remove?  Reads: integrator ``update_copies_sent``
+and ``filtered_out``, per-manager ``messages_handled`` (registry
+``proc_messages_handled``), and ``RunMetrics.makespan``.
 """
 
 from repro.system.config import SystemConfig

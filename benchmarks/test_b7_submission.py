@@ -11,6 +11,10 @@ each policy and reports makespan, staleness and the verified MVC level.
 Expected shape: all three safe policies preserve MVC-completeness;
 dependency-aware policies beat fully-sequential on makespan by overlapping
 independent transactions; the eager policy loses consistency.
+
+Paper question: §4.3 — which commit-order control to use ("each may be
+appropriate in different scenarios")?  Reads: ``RunMetrics.makespan`` /
+``mean_staleness`` and the verified MVC level per policy.
 """
 
 from repro.system.config import SystemConfig

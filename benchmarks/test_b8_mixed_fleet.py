@@ -7,6 +7,10 @@ the view manager guaranteeing the weakest level of consistency."
 The experiment runs the same workload over fleets of increasing
 heterogeneity and reports which algorithm the weakest-level rule selects
 and the MVC level each run verifies.
+
+Paper question: §6.3 — does the weakest-level rule pick the right merge
+algorithm for heterogeneous fleets?  Reads: the selected algorithm name,
+``classify()`` and ``check_mvc`` verdicts per fleet (no timing metrics).
 """
 
 from repro.system.config import SystemConfig

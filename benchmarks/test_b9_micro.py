@@ -7,6 +7,10 @@ microbenchmarks (many rounds) over synthetic event streams:
 * VUT allocate/color/purge cycle,
 * SPA end-to-end event processing (n updates x 3 views),
 * PA with batch-2 action lists over the same pattern.
+
+Paper question: §4 (implicitly) — is per-event merge bookkeeping cheap
+enough to keep up with REL/AL traffic?  Reads: wall-clock per operation
+from ``pytest-benchmark``; no simulation metrics are involved.
 """
 
 import random

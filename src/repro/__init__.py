@@ -33,6 +33,8 @@ Packages:
 * :mod:`repro.consistency` — executable §2 definitions (test oracles)
 * :mod:`repro.system`      — Figure-1 assembly, metrics
 * :mod:`repro.workloads`   — schemas and seeded update streams
+* :mod:`repro.obs`         — observability: causal lineage, metrics
+  registry, trace exporters (Perfetto / JSONL / timeline)
 """
 
 from repro.errors import (
@@ -86,6 +88,16 @@ from repro.consistency import (
     check_mvc_strong,
     classify_mvc,
     replay_source_states,
+)
+from repro.obs import (
+    Lineage,
+    LineageHop,
+    MetricsRegistry,
+    UpdateLineage,
+    write_chrome_trace,
+    write_jsonl,
+    write_timeline,
+    write_trace,
 )
 from repro.system import (
     RunMetrics,
@@ -165,6 +177,15 @@ __all__ = [
     "check_mvc_strong",
     "check_mvc_convergent",
     "classify_mvc",
+    # observability
+    "Lineage",
+    "UpdateLineage",
+    "LineageHop",
+    "MetricsRegistry",
+    "write_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_timeline",
     # system
     "SystemConfig",
     "WarehouseSystem",

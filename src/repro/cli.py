@@ -9,6 +9,16 @@ Commands:
 * ``run``   — assemble a full system over a chosen schema/view suite,
   drive a seeded workload through it, and print metrics plus the achieved
   MVC level.  Every architectural knob is a flag.
+* ``sweep`` — run several manager kinds on one identical workload and
+  tabulate the comparison.
+* ``inspect`` — run a workload and interrogate its observability record:
+  per-update causal lineage chains (source commit → warehouse commit,
+  with queue-wait vs service breakdowns) and the metrics registry.
+
+``run``, ``sweep`` and ``inspect`` accept ``--trace-out PATH``; the
+extension picks the format — ``.json`` is Chrome/Perfetto-loadable
+(https://ui.perfetto.dev), ``.jsonl`` a lossless event log, ``.txt`` a
+text timeline (see ``docs/observability.md``).
 
 Examples::
 
@@ -16,6 +26,9 @@ Examples::
     python -m repro trace 5
     python -m repro run --schema paper --manager strong --updates 200 \\
         --rate 4 --policy dbms-dependency --merges 2
+    python -m repro run --trace-out trace.json
+    python -m repro inspect --update 7
+    python -m repro inspect --registry proc_ --slowest 3
 """
 
 from __future__ import annotations
@@ -176,15 +189,31 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         mix=(0.6, 0.2, 0.2),
         arrivals="poisson",
     )
-    rows = sweep(world_factory, views_factory, spec, variants)
+    on_system = None
+    if args.trace_out:
+        from pathlib import Path
+
+        from repro.obs import write_trace
+
+        base = Path(args.trace_out)
+
+        def on_system(name: str, system: WarehouseSystem) -> None:
+            # one trace file per variant: trace.json -> trace-strong.json
+            path = base.with_name(f"{base.stem}-{name}{base.suffix}")
+            write_trace(system.sim.trace, path)
+            print(f"trace ({name}): {path}")
+
+    rows = sweep(world_factory, views_factory, spec, variants,
+                 on_system=on_system)
     print(f"schema={args.schema}  updates={args.updates}  rate={args.rate}")
     print(format_sweep(rows))
     return 0 if all(r.verified for r in rows) else 1
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
+def _build_and_run(args: argparse.Namespace) -> WarehouseSystem:
+    """Assemble + drive one system from run/inspect-style flags."""
     world, views = SCHEMAS[args.schema]()
-    if args.views_file:
+    if getattr(args, "views_file", None):
         from repro.relational.catalog import load_views
 
         views = load_views(args.views_file)
@@ -209,8 +238,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
     system = WarehouseSystem(world, views, config)
     post_stream(system, UpdateStreamGenerator(world, spec).transactions())
     system.run()
+    return system
+
+
+def _write_trace_out(system: WarehouseSystem, path: str | None) -> None:
+    if path:
+        from repro.obs import write_trace
+
+        written = write_trace(system.sim.trace, path)
+        print(f"trace: {written} ({len(system.sim.trace)} events)")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    system = _build_and_run(args)
     metrics = system.metrics()
-    print(f"schema={args.schema} views={len(views)} "
+    print(f"schema={args.schema} views={len(system.definitions)} "
           f"manager={args.manager} merge x{len(system.merge_processes)} "
           f"policy={args.policy}")
     print(metrics.format_row())
@@ -218,7 +260,46 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"achieved MVC level: {system.classify()}")
     report = system.check_mvc("auto")
     print(f"verification: {'OK' if report else 'FAILED — ' + report.reason}")
+    _write_trace_out(system, args.trace_out)
     return 0 if report else 1
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.obs import Lineage
+
+    system = _build_and_run(args)
+    lineage = Lineage.from_system(system)
+    print(f"schema={args.schema} manager={args.manager} "
+          f"updates={args.updates} rate={args.rate} seed={args.seed}")
+    print(f"{len(lineage)} updates numbered, "
+          f"{len(lineage) - len(lineage.unreflected())} reflected, "
+          f"{len(system.sim.trace)} trace events")
+
+    if args.update is not None:
+        for update_id in args.update:
+            print()
+            print(lineage.for_update(update_id).format())
+    else:
+        chains = [c for c in lineage.all() if c.reflected]
+        chains.sort(key=lambda c: c.latency or 0.0, reverse=True)
+        shown = chains[: args.slowest]
+        print(f"\nslowest {len(shown)} update(s) by commit-to-visibility "
+              f"latency (rerun with --update N for any chain):")
+        for chain in shown:
+            print()
+            print(chain.format())
+        for update_id in lineage.unreflected():
+            print(f"\nU{update_id}: numbered but never reflected "
+                  f"(still queued at end of run?)")
+
+    if args.registry is not None:
+        prefix = args.registry
+        print(f"\nmetrics registry"
+              + (f" (prefix {prefix!r})" if prefix else "") + ":")
+        print(system.sim.metrics.format(prefix))
+
+    _write_trace_out(system, args.trace_out)
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -234,25 +315,48 @@ def build_parser() -> argparse.ArgumentParser:
     trace = sub.add_parser("trace", help="replay a worked example's VUT trace")
     trace.add_argument("example", choices=sorted(_TRACES))
 
+    def add_system_flags(p: argparse.ArgumentParser,
+                         updates: int = 100) -> None:
+        p.add_argument("--schema", choices=sorted(SCHEMAS), default="paper")
+        p.add_argument("--manager", choices=MANAGER_KINDS, default="complete")
+        p.add_argument("--algorithm", choices=MERGE_ALGORITHMS, default="auto")
+        p.add_argument("--policy", choices=SUBMISSION_POLICIES,
+                       default="dependency-sequenced")
+        p.add_argument("--mode", choices=("cached", "snapshot", "compensate"),
+                       default="cached")
+        p.add_argument("--merges", type=int, default=1)
+        p.add_argument("--executors", type=int, default=1)
+        p.add_argument("--merge-cost", type=float, default=0.0)
+        p.add_argument("--updates", type=int, default=updates)
+        p.add_argument("--rate", type=float, default=2.0)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--filtering", action="store_true",
+                       help="enable selection-condition relevance filtering")
+        p.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="write the run's trace; format from extension "
+                       "(.json Perfetto, .jsonl event log, .txt timeline)")
+
     run = sub.add_parser("run", help="run a configurable warehouse workload")
-    run.add_argument("--schema", choices=sorted(SCHEMAS), default="paper")
-    run.add_argument("--manager", choices=MANAGER_KINDS, default="complete")
-    run.add_argument("--algorithm", choices=MERGE_ALGORITHMS, default="auto")
-    run.add_argument("--policy", choices=SUBMISSION_POLICIES,
-                     default="dependency-sequenced")
-    run.add_argument("--mode", choices=("cached", "snapshot", "compensate"),
-                     default="cached")
-    run.add_argument("--merges", type=int, default=1)
-    run.add_argument("--executors", type=int, default=1)
-    run.add_argument("--merge-cost", type=float, default=0.0)
-    run.add_argument("--updates", type=int, default=100)
-    run.add_argument("--rate", type=float, default=2.0)
-    run.add_argument("--seed", type=int, default=0)
-    run.add_argument("--filtering", action="store_true",
-                     help="enable selection-condition relevance filtering")
+    add_system_flags(run)
     run.add_argument("--views-file", default=None,
                      help="load view definitions from a catalog file "
                      "(overrides the schema's default view suite)")
+
+    ins = sub.add_parser(
+        "inspect",
+        help="run a workload and query its lineage / metrics record",
+    )
+    add_system_flags(ins, updates=40)
+    ins.add_argument("--update", type=int, action="append", metavar="N",
+                     help="print the causal chain of update N (repeatable); "
+                     "default: the slowest chains")
+    ins.add_argument("--slowest", type=int, default=3, metavar="K",
+                     help="without --update: show the K highest-latency "
+                     "chains (default 3)")
+    ins.add_argument("--registry", nargs="?", const="", default=None,
+                     metavar="PREFIX",
+                     help="also dump the metrics registry (optionally only "
+                     "names starting with PREFIX, e.g. proc_ or chan_)")
 
     swp = sub.add_parser(
         "sweep", help="compare manager kinds on one workload"
@@ -263,6 +367,9 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument("--updates", type=int, default=80)
     swp.add_argument("--rate", type=float, default=2.0)
     swp.add_argument("--seed", type=int, default=0)
+    swp.add_argument("--trace-out", default=None, metavar="PATH",
+                     help="write one trace file per variant "
+                     "(trace.json -> trace-<variant>.json)")
     return parser
 
 
@@ -274,6 +381,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_trace(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "inspect":
+        return _cmd_inspect(args)
     return _cmd_run(args)
 
 

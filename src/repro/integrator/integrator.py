@@ -113,7 +113,16 @@ class Integrator(Process):
             for view in self.filter.views_reading(update.relation)
         )
         self.filtered_out += len(base_level - relevant)
-        self.trace("int_number", update_id=update_id, rel=tuple(sorted(relevant)))
+        # ``lineage`` links our numbering back to the source world's commit
+        # sequence, completing the source->warehouse causal chain
+        # (see repro.obs.lineage).
+        self.trace(
+            "int_number",
+            update_id=update_id,
+            rel=tuple(sorted(relevant)),
+            lineage=message.lineage_id,
+            commit_time=message.commit_time,
+        )
 
         # Step 3: REL_i to each merge owning some relevant view.  A single
         # transaction must stay within one merge group: groups share no

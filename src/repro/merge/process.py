@@ -78,6 +78,10 @@ class MergeProcess(Process):
         self._txn_id_step = txn_id_step
         self.policy.bind(self._submit_to_warehouse, self._allocate_txn_id)
         self.transactions_formed = 0
+        # VUT occupancy over time: a timeline gauge so the registry keeps
+        # the full (time, size) series, not just the peak.
+        self._g_vut = sim.metrics.gauge("merge_vut_size", timeline=True,
+                                        merge=self.name)
         self.checkpointing = checkpointing
         self._checkpoint: MergeCheckpoint | None = None
         self.checkpoints_taken = 0
@@ -118,6 +122,7 @@ class MergeProcess(Process):
             self._offer(unit)
         vut = getattr(self.algorithm, "vut", None)
         if vut is not None:
+            self._g_vut.set(len(vut), at=self.sim.now)
             self.trace("vut_size", size=len(vut))
 
     def _offer(self, unit: ReadyUnit) -> None:

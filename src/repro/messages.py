@@ -32,10 +32,17 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only imports (no cycles)
 
 @dataclass(frozen=True, slots=True)
 class UpdateNotification:
-    """A committed source transaction reported to the integrator."""
+    """A committed source transaction reported to the integrator.
+
+    ``lineage_id`` is the source world's global commit sequence number —
+    the causal id observability threads from the source commit through the
+    integrator's numbering (``0`` when the reporter cannot know it, e.g. a
+    snapshot-diff monitor synthesizing transactions from state diffs).
+    """
 
     transaction: SourceTransaction
     commit_time: float
+    lineage_id: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -146,6 +153,39 @@ class AckFrame:
     ack: int
 
 
+def lineage_keys(message: object) -> dict[str, tuple[int, ...]]:
+    """The causal identifiers a message carries, for trace attribution.
+
+    Returns any of three keys (absent when inapplicable):
+
+    * ``ids`` — integrator-assigned update numbers the message concerns;
+    * ``lineage`` — source-world commit sequence numbers (pre-numbering);
+    * ``txn`` — warehouse transaction ids.
+
+    Used by :meth:`repro.sim.process.Process` to stamp per-message queue
+    and service events, which is what lets
+    :class:`repro.obs.lineage.Lineage` attribute every hop of an update's
+    path to the update itself.  Unknown message types yield ``{}`` — the
+    hop simply goes unattributed rather than failing.
+    """
+    if isinstance(message, SequencedFrame):
+        return lineage_keys(message.payload)
+    if isinstance(message, (NumberedUpdate, RelMessage, UpdateForView)):
+        return {"ids": (message.update_id,)}
+    if isinstance(message, ActionListMessage):
+        return {"ids": tuple(message.action_list.covered)}
+    if isinstance(message, WarehouseTransactionMsg):
+        return {
+            "ids": tuple(message.txn.covered_rows),
+            "txn": (message.txn.txn_id,),
+        }
+    if isinstance(message, CommitNotification):
+        return {"txn": (message.txn_id,)}
+    if isinstance(message, UpdateNotification):
+        return {"lineage": (message.lineage_id,)} if message.lineage_id else {}
+    return {}
+
+
 __all__ = [
     "UpdateNotification",
     "NumberedUpdate",
@@ -158,4 +198,5 @@ __all__ = [
     "CommitNotification",
     "SequencedFrame",
     "AckFrame",
+    "lineage_keys",
 ]

@@ -1,0 +1,65 @@
+"""``repro.obs`` — the observability layer.
+
+Three pieces, layered over the simulator's :class:`~repro.sim.tracing.Trace`:
+
+* :mod:`repro.obs.registry` — typed metrics (counters, gauges,
+  histograms) that processes, channels, and merges register on
+  ``sim.metrics`` as they run;
+* :mod:`repro.obs.lineage` — per-update causal reconstruction
+  (source commit → integrator → view manager → merge → warehouse) from
+  trace events;
+* :mod:`repro.obs.export` — trace serialisation: Chrome/Perfetto JSON,
+  JSONL event log, plain-text timeline.
+
+See ``docs/observability.md`` for the model and worked examples.
+"""
+
+from repro.obs.export import (
+    read_chrome_trace,
+    read_jsonl,
+    to_chrome_trace,
+    to_jsonl,
+    to_timeline,
+    write_chrome_trace,
+    write_jsonl,
+    write_timeline,
+    write_trace,
+)
+from repro.obs.lineage import (
+    LINEAGE_KINDS,
+    Lineage,
+    LineageError,
+    LineageHop,
+    UpdateLineage,
+)
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    Metric,
+    MetricsRegistry,
+    percentile,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metric",
+    "MetricsRegistry",
+    "percentile",
+    "LINEAGE_KINDS",
+    "Lineage",
+    "LineageError",
+    "LineageHop",
+    "UpdateLineage",
+    "read_chrome_trace",
+    "read_jsonl",
+    "to_chrome_trace",
+    "to_jsonl",
+    "to_timeline",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_timeline",
+    "write_trace",
+]

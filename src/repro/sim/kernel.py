@@ -13,6 +13,7 @@ import random
 from typing import Callable
 
 from repro.errors import SimulationError
+from repro.obs.registry import MetricsRegistry
 from repro.sim.tracing import Trace
 
 
@@ -25,6 +26,11 @@ class Simulator:
         sim.schedule(1.5, callback, arg1, arg2)
         sim.run()          # drain the queue
         sim.run(until=10)  # or stop at a virtual-time horizon
+
+    Besides the event queue, a simulator owns the run's two observability
+    substrates: the event :class:`Trace` and the :class:`MetricsRegistry`
+    every process/channel instrument registers against (see
+    :mod:`repro.obs`).
     """
 
     def __init__(self, seed: int = 0) -> None:
@@ -35,6 +41,7 @@ class Simulator:
         self._events_executed = 0
         self.rng = random.Random(seed)
         self.trace = Trace()
+        self.metrics = MetricsRegistry()
 
     @property
     def now(self) -> float:

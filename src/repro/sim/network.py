@@ -107,6 +107,12 @@ class Channel:
         self.latency = latency
         self._last_delivery = 0.0
         self.messages_sent = 0
+        # Registry mirror: per-(src, dst) traffic counters.  The plain
+        # attributes above stay the per-channel exact counts; the registry
+        # aggregates across channels sharing an endpoint pair.
+        self._m_sent = sim.metrics.counter(
+            "chan_messages_sent", src=source.name, dst=destination.name
+        )
 
     def send(self, message: object) -> float:
         """Queue ``message`` for delivery; returns the delivery time.
@@ -119,6 +125,7 @@ class Channel:
         deliver_at = max(now + delay, self._last_delivery)
         self._last_delivery = deliver_at
         self.messages_sent += 1
+        self._m_sent.inc()
         self._sim.trace.record(
             now,
             "msg_send",
@@ -187,6 +194,12 @@ class LossyChannel(Channel):
         self.faults = faults
         self.messages_dropped = 0
         self.messages_duplicated = 0
+        self._m_dropped = sim.metrics.counter(
+            "chan_messages_dropped", src=source.name, dst=destination.name
+        )
+        self._m_duplicated = sim.metrics.counter(
+            "chan_messages_duplicated", src=source.name, dst=destination.name
+        )
 
     def _next_transmission(self, faults: object | None) -> Transmission:
         if faults is None:
@@ -204,6 +217,7 @@ class LossyChannel(Channel):
         arrival = None
         if decision.drop:
             self.messages_dropped += 1
+            self._m_dropped.inc()
             self._sim.trace.record(
                 now,
                 "msg_drop",
@@ -217,6 +231,7 @@ class LossyChannel(Channel):
             self._sim.schedule_at(arrival, deliver, message)
         for _ in range(decision.duplicates):
             self.messages_duplicated += 1
+            self._m_duplicated.inc()
             delay = self.latency.sample(self._sim.rng) + decision.extra_delay
             self._sim.schedule(delay, deliver, message)
         return arrival
@@ -224,6 +239,7 @@ class LossyChannel(Channel):
     def send(self, message: object) -> float:
         """Transmit once; returns the primary arrival time (``now`` if dropped)."""
         self.messages_sent += 1
+        self._m_sent.inc()
         self._sim.trace.record(
             self._sim.now,
             "msg_send",
@@ -295,6 +311,15 @@ class ReliableChannel(LossyChannel):
         self.retransmissions = 0
         self.duplicates_suppressed = 0
         self.acks_sent = 0
+        self._m_retransmissions = sim.metrics.counter(
+            "chan_retransmissions", src=source.name, dst=destination.name
+        )
+        self._m_suppressed = sim.metrics.counter(
+            "chan_duplicates_suppressed", src=source.name, dst=destination.name
+        )
+        self._m_acks = sim.metrics.counter(
+            "chan_acks_sent", src=source.name, dst=destination.name
+        )
         destination.register_incoming(self)
 
     # -- sender ------------------------------------------------------------
@@ -305,6 +330,7 @@ class ReliableChannel(LossyChannel):
         self._unacked[seq] = message
         self._attempts[seq] = 0
         self.messages_sent += 1
+        self._m_sent.inc()
         self._sim.trace.record(
             self._sim.now,
             "msg_send",
@@ -336,6 +362,7 @@ class ReliableChannel(LossyChannel):
             return  # acked meanwhile, or superseded by a restored checkpoint
         self._attempts[seq] += 1
         self.retransmissions += 1
+        self._m_retransmissions.inc()
         self._sim.trace.record(
             self._sim.now,
             "msg_retransmit",
@@ -370,6 +397,7 @@ class ReliableChannel(LossyChannel):
         self._timer_token.clear()
         for seq in sorted(self._unacked):
             self.retransmissions += 1
+            self._m_retransmissions.inc()
             self._transmit_frame(seq)
             self._arm_timer(seq)
 
@@ -378,17 +406,19 @@ class ReliableChannel(LossyChannel):
         if self.destination.crashed:
             # Arrived at a dead process: lost with the rest of its volatile
             # state.  No ack, so the sender will retransmit after restart.
-            self.destination.messages_lost += 1
+            self.destination.count_lost()
             return
         seq = frame.seq
         if seq <= self._last_processed:
             # Stale duplicate (retransmit raced the ack): re-ack so the
             # sender can clear its buffer.
             self.duplicates_suppressed += 1
+            self._m_suppressed.inc()
             self._send_ack()
             return
         if seq in self._reorder or seq in self._in_mailbox:
             self.duplicates_suppressed += 1
+            self._m_suppressed.inc()
             return
         self._reorder[seq] = frame.payload
         while self._expected in self._reorder:
@@ -415,6 +445,7 @@ class ReliableChannel(LossyChannel):
 
     def _send_ack(self) -> None:
         self.acks_sent += 1
+        self._m_acks.inc()
         self._transmit(AckFrame(self._last_processed), self._on_ack, self.ack_faults)
 
     def on_destination_crash(self) -> None:

@@ -7,6 +7,16 @@ service discipline is what creates the bottleneck phenomena the paper's
 Section 7 wants to study (a merge process saturates when work arrives
 faster than it can serve it), and the per-process utilisation and queue
 statistics recorded here are what the benchmarks report.
+
+Instrumentation: every process registers its load statistics as typed
+instruments in the simulator's :class:`~repro.obs.registry.MetricsRegistry`
+(counters for messages/busy time/losses/crashes, a queue-length gauge, and
+queue-wait / service-time histograms), and emits one ``proc_msg`` trace
+event per handled message carrying the message's causal identifiers (see
+:func:`repro.messages.lineage_keys`) plus its queue-wait and service-time
+split.  ``proc_msg`` is what lets :class:`repro.obs.lineage.Lineage`
+reconstruct where each update spent its time; filter it out with
+``Trace.kinds`` when a high-rate run doesn't need per-hop attribution.
 """
 
 from __future__ import annotations
@@ -15,6 +25,7 @@ from collections import deque
 from typing import TYPE_CHECKING, Callable
 
 from repro.errors import SimulationError
+from repro.messages import lineage_keys
 from repro.sim.network import Channel, LatencyModel
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -33,9 +44,10 @@ class Process:
     def __init__(self, sim: "Simulator", name: str) -> None:
         self.sim = sim
         self.name = name
-        self._inbox: deque[tuple[object, "Process", Callable[[], None] | None]] = (
-            deque()
-        )
+        # inbox entries: (message, sender, on_processed, enqueued_at)
+        self._inbox: deque[
+            tuple[object, "Process", Callable[[], None] | None, float]
+        ] = deque()
         self._busy = False
         self._outgoing: dict[str, Channel] = {}
         # crash/restart state: the epoch invalidates in-flight service events
@@ -43,12 +55,17 @@ class Process:
         self._crashed = False
         self._epoch = 0
         self._incoming: list[Channel] = []
-        # statistics
-        self.messages_handled = 0
-        self.busy_time = 0.0
-        self.max_queue_length = 0
-        self.crashes = 0
-        self.messages_lost = 0
+        # statistics — registry-backed instruments; the classic attribute
+        # names (messages_handled, busy_time, ...) remain as read-only
+        # properties so existing callers and tests keep working.
+        metrics = sim.metrics
+        self._m_handled = metrics.counter("proc_messages_handled", process=name)
+        self._m_busy = metrics.counter("proc_busy_time", process=name)
+        self._m_lost = metrics.counter("proc_messages_lost", process=name)
+        self._m_crashes = metrics.counter("proc_crashes", process=name)
+        self._g_queue = metrics.gauge("proc_queue_length", process=name)
+        self._h_wait = metrics.histogram("proc_queue_wait", process=name)
+        self._h_service = metrics.histogram("proc_service_time", process=name)
         self._queue_area = 0.0  # integral of queue length over time
         self._last_stat_time = 0.0
 
@@ -107,16 +124,21 @@ class Process:
         acknowledgements survive a crash that wipes the mailbox.
         """
         if self._crashed:
-            self.messages_lost += 1
+            self.count_lost()
             self.trace(
                 "msg_lost", sender=sender.name, message=type(message).__name__
             )
             return
         self._account_queue()
-        self._inbox.append((message, sender, on_processed))
-        self.max_queue_length = max(self.max_queue_length, len(self._inbox))
+        now = self.sim.now
+        self._inbox.append((message, sender, on_processed, now))
+        self._g_queue.set(len(self._inbox), at=now)
         if not self._busy:
             self._start_next()
+
+    def count_lost(self, n: int = 1) -> None:
+        """Record ``n`` messages lost to a crash (volatile-state discard)."""
+        self._m_lost.inc(n)
 
     def _account_queue(self) -> None:
         now = self.sim.now
@@ -127,7 +149,7 @@ class Process:
         if not self._inbox:
             return
         self._busy = True
-        message, sender, _on_processed = self._inbox[0]
+        message, sender, _on_processed, _enqueued = self._inbox[0]
         service = self.service_time(message)
         if service < 0:
             raise SimulationError(
@@ -141,10 +163,29 @@ class Process:
         if epoch != self._epoch:
             return  # the process crashed while this message was in service
         self._account_queue()
-        _message, _sender, on_processed = self._inbox.popleft()
+        now = self.sim.now
+        _message, _sender, on_processed, enqueued = self._inbox.popleft()
+        self._g_queue.set(len(self._inbox), at=now)
         self._busy = False
-        self.busy_time += service
-        self.messages_handled += 1
+        self._m_busy.inc(service)
+        self._m_handled.inc()
+        # Queue wait: arrival to service start.  Service start is finish
+        # minus service; clamp the float round-trip to non-negative.
+        wait = max(0.0, (now - service) - enqueued)
+        self._h_wait.observe(wait)
+        self._h_service.observe(service)
+        trace = self.sim.trace
+        if trace.wants("proc_msg"):
+            trace.record(
+                now,
+                "proc_msg",
+                self.name,
+                message=type(message).__name__,
+                sender=sender.name,
+                wait=wait,
+                service=service,
+                **lineage_keys(message),
+            )
         self.handle(message, sender)
         # Checkpoint hooks run after handle() so the saved state covers this
         # message; only then is the sender's channel told it was processed.
@@ -173,11 +214,12 @@ class Process:
         self._account_queue()
         lost = len(self._inbox)
         self._inbox.clear()
+        self._g_queue.set(0, at=self.sim.now)
         self._busy = False
         self._crashed = True
         self._epoch += 1
-        self.crashes += 1
-        self.messages_lost += lost
+        self._m_crashes.inc()
+        self.count_lost(lost)
         self.trace("crash", lost_messages=lost)
         for channel in self._incoming:
             on_crash = getattr(channel, "on_destination_crash", None)
@@ -213,6 +255,26 @@ class Process:
 
     # -- statistics --------------------------------------------------------------
     @property
+    def messages_handled(self) -> int:
+        return int(self._m_handled.value)
+
+    @property
+    def busy_time(self) -> float:
+        return self._m_busy.value
+
+    @property
+    def max_queue_length(self) -> int:
+        return int(self._g_queue.max)
+
+    @property
+    def crashes(self) -> int:
+        return int(self._m_crashes.value)
+
+    @property
+    def messages_lost(self) -> int:
+        return int(self._m_lost.value)
+
+    @property
     def queue_length(self) -> int:
         return len(self._inbox)
 
@@ -229,6 +291,14 @@ class Process:
         if self.sim.now <= 0:
             return 0.0
         return self._queue_area / self.sim.now
+
+    def queue_wait_stats(self) -> tuple[int, float, float]:
+        """Queue-wait distribution so far: ``(count, mean, p95)``."""
+        return (
+            self._h_wait.count,
+            self._h_wait.mean,
+            self._h_wait.quantile(0.95),
+        )
 
     def trace(self, kind: str, **detail: object) -> None:
         """Record a trace event attributed to this process."""

@@ -4,13 +4,22 @@ Every interesting occurrence — a message send/delivery, a warehouse
 commit, a VUT transition — can be appended to the simulator's
 :class:`Trace`.  Benchmarks and the consistency checkers read traces back
 to compute metrics (freshness, throughput) and to reconstruct state
-sequences.
+sequences; the observability layer (:mod:`repro.obs`) reconstructs causal
+lineage and exports traces to external viewers.
+
+Recording can be restricted to a set of event kinds (:attr:`Trace.kinds`)
+so high-rate runs only pay for the events they keep.  The filter is
+checked *before* any allocation, and callers that must build expensive
+``detail`` payloads should guard with :meth:`Trace.wants` first::
+
+    if sim.trace.wants("proc_msg"):
+        sim.trace.record(now, "proc_msg", name, ids=expensive_ids(msg))
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterator
+from typing import Callable, Iterable, Iterator
 
 
 @dataclass(frozen=True, slots=True)
@@ -28,50 +37,86 @@ class TraceEvent:
 
 
 class Trace:
-    """An append-only list of :class:`TraceEvent` with query helpers."""
+    """An append-only list of :class:`TraceEvent` with query helpers.
 
-    __slots__ = ("_events", "enabled")
+    :meth:`record` sits on the simulator's hot path, so it appends raw
+    tuples and defers :class:`TraceEvent` construction to the first read
+    — simulation time pays only for the append, queries pay the (one-off)
+    materialisation.
+    """
+
+    __slots__ = ("_events", "_pending", "enabled", "_kinds")
 
     def __init__(self) -> None:
         self._events: list[TraceEvent] = []
+        self._pending: list[tuple[float, str, str, dict]] = []
         self.enabled = True
+        self._kinds: frozenset[str] | None = None
+
+    # -- filtering ---------------------------------------------------------
+    @property
+    def kinds(self) -> frozenset[str] | None:
+        """The recorded event kinds, or ``None`` for "record everything"."""
+        return self._kinds
+
+    @kinds.setter
+    def kinds(self, kinds: Iterable[str] | None) -> None:
+        self._kinds = None if kinds is None else frozenset(kinds)
+
+    def wants(self, kind: str) -> bool:
+        """Would :meth:`record` keep an event of this kind right now?"""
+        return self.enabled and (self._kinds is None or kind in self._kinds)
 
     def record(self, time: float, kind: str, process: str, **detail: object) -> None:
-        if self.enabled:
-            self._events.append(TraceEvent(time, kind, process, dict(detail)))
+        # Filter before any allocation: a rejected event must cost nothing
+        # beyond this check (the **detail dict is built by the call itself).
+        if not self.enabled:
+            return
+        if self._kinds is not None and kind not in self._kinds:
+            return
+        self._pending.append((time, kind, process, detail))
+
+    def _materialise(self) -> list[TraceEvent]:
+        if self._pending:
+            self._events.extend(
+                TraceEvent(*raw) for raw in self._pending
+            )
+            self._pending.clear()
+        return self._events
 
     def __len__(self) -> int:
-        return len(self._events)
+        return len(self._events) + len(self._pending)
 
     def __iter__(self) -> Iterator[TraceEvent]:
-        return iter(self._events)
+        return iter(self._materialise())
 
     def __getitem__(self, index: int) -> TraceEvent:
-        return self._events[index]
+        return self._materialise()[index]
 
     def of_kind(self, kind: str) -> list[TraceEvent]:
-        return [e for e in self._events if e.kind == kind]
+        return [e for e in self._materialise() if e.kind == kind]
 
     def by_process(self, process: str) -> list[TraceEvent]:
-        return [e for e in self._events if e.process == process]
+        return [e for e in self._materialise() if e.process == process]
 
     def where(self, condition: Callable[[TraceEvent], bool]) -> list[TraceEvent]:
-        return [e for e in self._events if condition(e)]
+        return [e for e in self._materialise() if condition(e)]
 
     def first(self, kind: str) -> TraceEvent | None:
-        for event in self._events:
+        for event in self._materialise():
             if event.kind == kind:
                 return event
         return None
 
     def last(self, kind: str) -> TraceEvent | None:
-        for event in reversed(self._events):
+        for event in reversed(self._materialise()):
             if event.kind == kind:
                 return event
         return None
 
     def clear(self) -> None:
         self._events.clear()
+        self._pending.clear()
 
     def to_records(self, *kinds: str) -> list[dict]:
         """JSON-serialisable event records (optionally filtered by kind)."""
@@ -83,7 +128,7 @@ class Trace:
                 "process": event.process,
                 **event.detail,
             }
-            for event in self._events
+            for event in self._materialise()
             if not wanted or event.kind in wanted
         ]
 
@@ -91,6 +136,6 @@ class Trace:
         """Pretty-print the trace (optionally filtered to some kinds)."""
         wanted = set(kinds)
         lines = [
-            str(e) for e in self._events if not wanted or e.kind in wanted
+            str(e) for e in self._materialise() if not wanted or e.kind in wanted
         ]
         return "\n".join(lines)

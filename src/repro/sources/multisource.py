@@ -58,7 +58,7 @@ class GlobalTransactionCoordinator(Process):
         )
         self.send(
             self.integrator_name,
-            UpdateNotification(transaction, self.sim.now),
+            UpdateNotification(transaction, self.sim.now, committed.sequence),
         )
         return committed
 

@@ -67,7 +67,7 @@ class Source(Process):
         )
         self.send(
             self.integrator_name,
-            UpdateNotification(transaction, self.sim.now),
+            UpdateNotification(transaction, self.sim.now, committed.sequence),
         )
         return committed
 

@@ -91,6 +91,7 @@ class WarehouseSystem:
         self.config = config if config is not None else SystemConfig()
         self.sim = Simulator(seed=self.config.seed)
         self.sim.trace.enabled = self.config.trace_enabled
+        self.sim.trace.kinds = self.config.trace_kinds
         self._initial_state = world.current.snapshot()
         self._build()
 

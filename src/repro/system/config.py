@@ -83,6 +83,12 @@ class SystemConfig:
     seed: int = 0
     record_history: bool = True
     trace_enabled: bool = True
+    # Restrict tracing to these event kinds (None = record everything).
+    # Filtering happens before event allocation, so e.g.
+    # ``trace_kinds={"wh_commit"}`` cuts tracing cost on hot runs while
+    # keeping the events a given analysis needs.  ``repro.obs.lineage``
+    # needs at least ``LINEAGE_KINDS`` to reconstruct full chains.
+    trace_kinds: frozenset[str] | None = None
 
     def __post_init__(self) -> None:
         self.validate()

@@ -11,6 +11,13 @@ becomes a bottleneck for the system."
   length, and end-of-run backlog;
 * **throughput** — updates reflected per unit of virtual time;
 * **transaction accounting** — warehouse transactions, batches, messages.
+
+Since the observability layer landed, this module is a *thin view*: the
+per-process numbers come from registry-backed instruments on
+``sim.metrics`` (see :mod:`repro.obs.registry`), the VUT peak from the
+merge processes' ``merge_vut_size`` timeline gauges, and queue-wait
+percentiles from each process's ``proc_queue_wait`` histogram.  Anything
+deeper — full timelines, per-update causality — lives in ``repro.obs``.
 """
 
 from __future__ import annotations
@@ -18,8 +25,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Mapping
 
+from repro.obs.registry import percentile
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.system.builder import WarehouseSystem
+
+# Backward-compatible alias: this helper graduated into the observability
+# layer (shared with histogram quantiles) but its home API stays.
+_percentile = percentile
 
 
 @dataclass(frozen=True, slots=True)
@@ -32,6 +45,8 @@ class ProcessStats:
     mean_queue: float
     max_queue: int
     final_queue: int
+    mean_queue_wait: float = 0.0
+    p95_queue_wait: float = 0.0
 
 
 @dataclass(frozen=True, slots=True)
@@ -75,6 +90,8 @@ class RunMetrics:
                     "mean_queue": stats.mean_queue,
                     "max_queue": stats.max_queue,
                     "final_queue": stats.final_queue,
+                    "mean_queue_wait": stats.mean_queue_wait,
+                    "p95_queue_wait": stats.p95_queue_wait,
                 }
                 for name, stats in sorted(self.processes.items())
             },
@@ -89,25 +106,6 @@ class RunMetrics:
             f"staleness mean={self.mean_staleness:8.2f} "
             f"p95={self.p95_staleness:8.2f} max={self.max_staleness:8.2f}"
         )
-
-
-def _percentile(values: list[float], fraction: float) -> float:
-    """Linear-interpolated percentile (numpy's default method).
-
-    Nearest-rank via ``round()`` biases small samples — e.g. the p95 of ten
-    values jumps straight to the maximum — so interpolate between the two
-    bracketing order statistics instead.
-    """
-    if not values:
-        return 0.0
-    ordered = sorted(values)
-    if len(ordered) == 1:
-        return ordered[0]
-    position = fraction * (len(ordered) - 1)
-    lower = int(position)
-    upper = min(lower + 1, len(ordered) - 1)
-    weight = position - lower
-    return ordered[lower] * (1.0 - weight) + ordered[upper] * weight
 
 
 def staleness_per_update(system: "WarehouseSystem") -> dict[int, float]:
@@ -138,6 +136,7 @@ def collect_metrics(system: "WarehouseSystem") -> RunMetrics:
     everyone.extend(system.merge_processes)
     everyone.extend(system.view_managers.values())
     for process in everyone:
+        _count, mean_wait, p95_wait = process.queue_wait_stats()
         processes[process.name] = ProcessStats(
             name=process.name,
             messages_handled=process.messages_handled,
@@ -145,11 +144,18 @@ def collect_metrics(system: "WarehouseSystem") -> RunMetrics:
             mean_queue=process.mean_queue_length(),
             max_queue=process.max_queue_length,
             final_queue=process.queue_length,
+            mean_queue_wait=mean_wait,
+            p95_queue_wait=p95_wait,
         )
 
+    # VUT peak from the merges' registry gauges; the trace-scan fallback
+    # covers deserialised systems whose registry is gone but trace isn't.
     vut_peak = 0
-    for event in system.sim.trace.of_kind("vut_size"):
-        vut_peak = max(vut_peak, int(event.detail.get("size", 0)))
+    for gauge in system.sim.metrics.family("merge_vut_size"):
+        vut_peak = max(vut_peak, int(gauge.max))
+    if vut_peak == 0:
+        for event in system.sim.trace.of_kind("vut_size"):
+            vut_peak = max(vut_peak, int(event.detail.get("size", 0)))
 
     committed = len(system.integrator.numbered)
     reflected = len(staleness)

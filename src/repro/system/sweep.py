@@ -51,11 +51,14 @@ def sweep(
     spec: WorkloadSpec,
     variants: Mapping[str, SystemConfig],
     classify: bool = True,
+    on_system: Callable[[str, WarehouseSystem], None] | None = None,
 ) -> list[SweepRow]:
     """Run every variant on an identical workload; returns one row each.
 
     A fresh world and stream are generated per variant (same seed, so the
     workloads are identical), keeping variants fully independent.
+    ``on_system`` (if given) sees each finished system before it is
+    discarded — the hook trace/metrics exporters attach to.
     """
     rows: list[SweepRow] = []
     for name, config in variants.items():
@@ -64,6 +67,8 @@ def sweep(
         system = WarehouseSystem(world, list(views_factory()), config)
         post_stream(system, stream)
         system.run()
+        if on_system is not None:
+            on_system(name, system)
         level = system.classify() if classify else "unchecked"
         rows.append(
             SweepRow(

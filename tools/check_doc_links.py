@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Check that intra-repository markdown links resolve.
+
+Scans every tracked ``*.md`` file for inline links and verifies that each
+relative target exists (anchors and external ``http(s)``/``mailto``
+links are skipped).  Exits non-zero listing every broken link — run by
+the ``docs`` CI job and usable locally:
+
+    python tools/check_doc_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: inline markdown links: [text](target) — images share the syntax
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: fenced code blocks, where link syntax is not a link
+_FENCE = re.compile(r"^(```|~~~)")
+
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "#")
+
+
+def iter_markdown(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        if any(part.startswith(".") or part in ("build", "dist")
+               for part in path.relative_to(root).parts[:-1]):
+            continue
+        yield path
+
+
+def broken_links(path: Path, root: Path) -> list[tuple[int, str]]:
+    broken = []
+    in_fence = False
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if _FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for target in _LINK.findall(line):
+            if target.startswith(SKIP_SCHEMES):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            resolved = (root / relative if relative.startswith("/")
+                        else path.parent / relative)
+            if not resolved.exists():
+                broken.append((lineno, target))
+    return broken
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    failures = 0
+    checked = 0
+    for path in iter_markdown(root):
+        checked += 1
+        for lineno, target in broken_links(path, root):
+            failures += 1
+            print(f"{path.relative_to(root)}:{lineno}: broken link -> {target}")
+    if failures:
+        print(f"\n{failures} broken link(s) across {checked} markdown files")
+        return 1
+    print(f"ok: all intra-repo links resolve ({checked} markdown files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
