@@ -14,11 +14,48 @@ study (see DESIGN.md's experiment index).  Each test
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.system.builder import WarehouseSystem
 from repro.system.config import SystemConfig
 from repro.workloads.generator import UpdateStreamGenerator, WorkloadSpec, post_stream
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-out",
+        default=None,
+        metavar="DIR",
+        help="directory to write machine-readable BENCH_<name>.json "
+        "artifacts into (omitted: no artifacts are written)",
+    )
+
+
+@pytest.fixture
+def bench_out(request):
+    """Writer for machine-readable benchmark artifacts.
+
+    ``bench_out("b19", payload)`` writes ``BENCH_b19.json`` into the
+    directory named by ``--bench-out`` and returns its path, or returns
+    ``None`` (after checking the payload is serializable) when the option
+    is absent.  The format is documented in docs/performance.md; the
+    files are gitignored — CI uploads them as workflow artifacts so the
+    perf trajectory accumulates per commit.
+    """
+
+    def _write(name: str, payload: dict) -> Path | None:
+        rendered = json.dumps(payload, indent=2, sort_keys=True)
+        out_dir = request.config.getoption("--bench-out")
+        if out_dir is None:
+            return None
+        path = Path(out_dir) / f"BENCH_{name}.json"
+        path.write_text(rendered + "\n")
+        return path
+
+    return _write
 
 
 @pytest.fixture

@@ -23,6 +23,7 @@ from repro.relational.algebra import evaluate
 from repro.relational.database import Database
 from repro.relational.delta import Delta, propagate_delta
 from repro.relational.expressions import BaseRelation, Join
+from repro.relational.plan import MaintenancePlan
 from repro.relational.rows import Row
 from repro.relational.schema import Schema
 
@@ -84,12 +85,16 @@ def test_b10_incremental_vs_recompute(benchmark, report):
     assert speedups[-1] > speedups[0], "speedup must grow with base size"
     assert speedups[-1] > 20, "incremental must clearly win at 10k rows"
 
-    # And it must be *correct*: delta-applied result == recomputation.
+    # And it must be *correct*: delta-applied result == recomputation,
+    # for the unindexed rules and the compiled indexed plan alike.
     db = make_db(500)
     before = evaluate(EXPR, db)
     deltas = {"R": Delta.insert(Row(A=999_999, B=7))}
+    plan = MaintenancePlan(EXPR, db)
     delta = propagate_delta(EXPR, db, deltas)
+    assert plan.propagate(deltas) == delta
     db.apply_deltas(deltas)
+    plan.advance()
     materialized = before.copy()
     delta.apply_to(materialized)
     assert materialized == evaluate(EXPR, db)

@@ -1,0 +1,169 @@
+"""B19 — Indexed maintenance cost vs. the size of the un-touched join side.
+
+The unindexed delta rules pay O(|base|) per update: the join rule matches
+the delta against the *entire* opposite side.  The compiled
+:class:`~repro.relational.plan.MaintenancePlan` probes hash indexes
+instead, touching only rows that share the delta's join keys — so
+per-update cost should stay ~flat while the un-touched side grows 10x,
+and the legacy path's linear growth should show in the same run.
+
+Workload: ``V = R |><| S`` with |R| fixed at 100 and S's join attribute
+unique per row, so every update (an insert+delete pair on R) matches
+exactly one S row at every size — any cost growth is pure scan overhead,
+not growing match sets.  Updates touch only R; S is the un-touched side,
+grown 10x.
+
+Paper question: ROADMAP north star ("as fast as the hardware allows")
+via the self-maintenance literature (arXiv:1406.7685) — auxiliary
+structures make maintenance delta-proportional.  Reads: wall-clock per
+update per engine and size; emits BENCH_b19.json via ``--bench-out``.
+"""
+
+import time
+
+from repro.relational.database import Database
+from repro.relational.delta import Delta, propagate_delta
+from repro.relational.expressions import BaseRelation, Join
+from repro.relational.plan import MaintenancePlan
+from repro.relational.rows import Row
+from repro.relational.schema import Schema
+
+from benchmarks.conftest import fmt_table
+
+EXPR = Join(BaseRelation("R"), BaseRelation("S"))
+R_SIZE = 100
+SIZES = (2_000, 20_000)  # the un-touched side S, grown 10x
+UPDATES = 150
+REPEATS = 3
+
+
+def make_db(s_size: int) -> Database:
+    db = Database()
+    db.create_relation(
+        "R", Schema(["A", "B"]), [Row(A=i, B=i) for i in range(R_SIZE)]
+    )
+    # Unique join key per S row: every update matches exactly one row,
+    # at every size.
+    db.create_relation(
+        "S", Schema(["B", "C"]), [Row(B=j, C=j) for j in range(s_size)]
+    )
+    return db
+
+
+def update_stream():
+    """Insert+delete pairs on R only — state returns to the baseline."""
+    for k in range(UPDATES):
+        row = Row(A=1_000 + k, B=k % R_SIZE)
+        yield {"R": Delta.insert(row)}
+        yield {"R": Delta.delete(row)}
+
+
+def time_legacy(s_size: int) -> float:
+    """Best-of seconds per update for the unindexed propagate_delta path."""
+    db = make_db(s_size)
+    best = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        n = 0
+        for deltas in update_stream():
+            propagate_delta(EXPR, db, deltas)
+            db.apply_deltas(deltas)
+            n += 1
+        best = min(best, (time.perf_counter() - start) / n)
+    return best
+
+
+def time_indexed(s_size: int) -> float:
+    """Best-of seconds per update for the compiled indexed plan."""
+    db = make_db(s_size)
+    plan = MaintenancePlan(EXPR, db)
+    warm = {"R": Delta.insert(Row(A=999_999, B=0))}
+    plan.propagate(warm)  # build the probe indexes outside the timed region
+    best = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        n = 0
+        for deltas in update_stream():
+            plan.propagate(deltas)
+            db.apply_deltas(deltas)
+            plan.advance()
+            n += 1
+        best = min(best, (time.perf_counter() - start) / n)
+    return best
+
+
+def test_b19_equivalence_guard():
+    """The two engines must emit identical deltas on this workload."""
+    db_a, db_b = make_db(500), make_db(500)
+    plan = MaintenancePlan(EXPR, db_b)
+    for deltas in update_stream():
+        legacy = propagate_delta(EXPR, db_a, deltas)
+        planned = plan.propagate(deltas)
+        assert planned == legacy
+        db_a.apply_deltas(deltas)
+        db_b.apply_deltas(deltas)
+        plan.advance()
+
+
+def test_b19_maintenance_scaling(benchmark, report, bench_out):
+    def experiment():
+        results = {}
+        for engine, timer in (("legacy", time_legacy), ("indexed", time_indexed)):
+            results[engine] = {size: timer(size) for size in SIZES}
+        return results
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    small, large = SIZES
+    ratios = {
+        engine: times[large] / times[small] for engine, times in results.items()
+    }
+    speedup_at_large = results["legacy"][large] / results["indexed"][large]
+
+    report("B19 — per-update maintenance cost as the un-touched side grows 10x:")
+    report(fmt_table(
+        ["engine", f"|S|={small} (us/upd)", f"|S|={large} (us/upd)", "growth"],
+        [
+            [
+                engine,
+                f"{times[small] * 1e6:.1f}",
+                f"{times[large] * 1e6:.1f}",
+                f"{ratios[engine]:.2f}x",
+            ]
+            for engine, times in results.items()
+        ],
+    ))
+    report("")
+    report(f"Shape: legacy grows ~linearly with |S| ({ratios['legacy']:.1f}x), "
+           f"the indexed plan stays ~flat ({ratios['indexed']:.2f}x) and wins "
+           f"{speedup_at_large:.0f}x at |S|={large}.")
+
+    artifact = bench_out("b19", {
+        "benchmark": "b19_maintenance_scaling",
+        "question": "does per-update maintenance cost stay flat as the "
+                    "un-touched join side grows 10x?",
+        "units": "seconds_per_update",
+        "view": "V = R |><| S",
+        "r_size": R_SIZE,
+        "updates_timed": UPDATES * 2,
+        "sizes": list(SIZES),
+        "arms": {
+            engine: {str(size): times[size] for size in SIZES}
+            for engine, times in results.items()
+        },
+        "growth_ratios": {k: round(v, 4) for k, v in ratios.items()},
+        "indexed_speedup_at_large": round(speedup_at_large, 2),
+    })
+    if artifact is not None:
+        report(f"wrote {artifact}")
+
+    # The acceptance shape: indexed < 2x growth, legacy visibly linear.
+    assert ratios["indexed"] < 2.0, (
+        f"indexed per-update cost grew {ratios['indexed']:.2f}x over a 10x "
+        f"side growth — the index is not delta-proportional"
+    )
+    assert ratios["legacy"] > 3.0, (
+        f"legacy per-update cost grew only {ratios['legacy']:.2f}x — the "
+        f"baseline is no longer scan-bound, re-examine the benchmark"
+    )
+    assert speedup_at_large > 5.0

@@ -26,13 +26,26 @@ VIEWS = ("V1", "V2", "V3")
 N_UPDATES = 60
 
 
+def _emit(bench_out, name: str, benchmark, question: str):
+    """Write BENCH_b9_<name>.json from pytest-benchmark's own stats."""
+    stats = benchmark.stats.stats
+    bench_out(f"b9_{name}", {
+        "benchmark": f"b9_{name}",
+        "question": question,
+        "units": "seconds_per_round",
+        "rounds": stats.rounds,
+        "arms": {name: {"mean": stats.mean, "min": stats.min,
+                        "stddev": stats.stddev}},
+    })
+
+
 def make_al(view, covered):
     return ActionList.from_delta(
         view, view, tuple(covered), Delta.insert(Row(x=covered[-1]))
     )
 
 
-def test_b9_vut_cycle(benchmark):
+def test_b9_vut_cycle(benchmark, bench_out):
     def cycle():
         vut = ViewUpdateTable(VIEWS)
         for row in range(1, N_UPDATES + 1):
@@ -46,6 +59,8 @@ def test_b9_vut_cycle(benchmark):
 
     vut = benchmark(cycle)
     assert len(vut) == 0
+    _emit(bench_out, "vut_cycle", benchmark,
+          "per-round cost of the VUT allocate/color/purge cycle")
 
 
 def _spa_events():
@@ -55,7 +70,7 @@ def _spa_events():
     return rels
 
 
-def test_b9_spa_event_processing(benchmark):
+def test_b9_spa_event_processing(benchmark, bench_out):
     rels = _spa_events()
 
     def run():
@@ -73,9 +88,11 @@ def test_b9_spa_event_processing(benchmark):
 
     units = benchmark(run)
     assert units > 0
+    _emit(bench_out, "spa_events", benchmark,
+          "per-round cost of SPA end-to-end event processing")
 
 
-def test_b9_pa_event_processing_batched(benchmark):
+def test_b9_pa_event_processing_batched(benchmark, bench_out):
     rels = _spa_events()
 
     def run():
@@ -93,3 +110,5 @@ def test_b9_pa_event_processing_batched(benchmark):
 
     units = benchmark(run)
     assert units > 0
+    _emit(bench_out, "pa_events_batched", benchmark,
+          "per-round cost of PA with batch-2 action lists")

@@ -55,6 +55,7 @@ from repro.relational import (
     AttrType,
     Database,
     Delta,
+    MaintenancePlan,
     MaterializedView,
     Relation,
     Row,
@@ -149,6 +150,7 @@ __all__ = [
     "ViewDefinition",
     "Aggregate",
     "AggregateSpec",
+    "MaintenancePlan",
     "MaterializedView",
     "evaluate",
     "propagate_delta",

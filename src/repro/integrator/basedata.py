@@ -113,8 +113,10 @@ class BaseDataService(Process):
     def _respond(self, query: SnapshotQuery) -> None:
         version = self._db.version if query.version is None else query.version
         state = self._db.as_of(version)
-        contents: dict[str, dict[Row, int]] = {
-            relation: dict(state.relation(relation).counts())
+        # Zero-copy: ``state`` is a frozen snapshot, so its count mappings
+        # can be shipped as read-only views instead of per-query copies.
+        contents: dict[str, Mapping[Row, int]] = {
+            relation: state.relation(relation).counts_view()
             for relation in sorted(query.relations)
         }
         undo: tuple[tuple[int, Update], ...] = ()

@@ -35,7 +35,9 @@ from repro.relational.expressions import (
 from repro.relational.algebra import evaluate
 from repro.relational.delta import Delta, propagate_delta
 from repro.relational.database import Database, VersionedDatabase
+from repro.relational.indexes import HashIndex
 from repro.relational.parser import parse_view
+from repro.relational.plan import MaintenancePlan, PlanUnsupported
 from repro.relational.render import to_sql
 from repro.relational.maintain import MaterializedView
 
@@ -62,6 +64,9 @@ __all__ = [
     "AggregateSpec",
     "ViewDefinition",
     "to_sql",
+    "HashIndex",
+    "MaintenancePlan",
+    "PlanUnsupported",
     "MaterializedView",
     "evaluate",
     "Delta",

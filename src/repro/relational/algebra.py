@@ -47,9 +47,10 @@ class DatabaseLike:
         raise NotImplementedError
 
 
-def _eval_counts(expr: Expression, db: "DatabaseLike") -> dict[Row, int]:
+def _eval_counts(expr: Expression, db: "DatabaseLike") -> Mapping[Row, int]:
     if isinstance(expr, BaseRelation):
-        return dict(db.relation(expr.name).counts())
+        # Zero-copy: every consumer treats the result as read-only.
+        return db.relation(expr.name).counts_view()
     if isinstance(expr, Select):
         child = _eval_counts(expr.child, db)
         return {row: c for row, c in child.items() if expr.predicate.evaluate(row)}

@@ -77,9 +77,17 @@ class Database:
         delta.apply_to(self.relation(name))
 
     def apply_deltas(self, deltas: Mapping[str, Delta]) -> None:
+        """Apply several deltas atomically.
+
+        Every delta is validated against its relation before anything is
+        mutated, so a bad delta raises with the database untouched —
+        callers never see a half-applied batch.
+        """
         self._check_mutable()
         for name, delta in deltas.items():
-            delta.apply_to(self.relation(name))
+            delta.check_applicable(self.relation(name))
+        for name, delta in deltas.items():
+            delta._apply_unchecked(self.relation(name))
 
     # -- snapshots ------------------------------------------------------------
     def snapshot(self) -> "Database":
@@ -162,14 +170,10 @@ class VersionedDatabase:
         """Apply ``deltas`` atomically and record a new version.
 
         Returns the new version number.  If applying any delta fails, the
-        database is left at the previous version (we re-validate against
-        the snapshot before touching the live state).
+        database is left at the previous version — ``apply_deltas``
+        validates every delta before mutating anything, so no full-state
+        dry-run copy is needed per commit.
         """
-        # Dry-run against a scratch copy so a bad delta cannot leave the
-        # live state half-applied.
-        scratch = self._current.snapshot()
-        scratch._frozen = False
-        scratch.apply_deltas(deltas)
         self._current.apply_deltas(deltas)
         self._version += 1
         self._versions[self._version] = self._current.snapshot()

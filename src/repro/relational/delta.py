@@ -17,6 +17,7 @@ uses to turn a source update into an action list.
 from __future__ import annotations
 
 from collections import defaultdict
+from types import MappingProxyType
 from typing import Iterable, Mapping
 
 from repro.errors import ExpressionError, RelationError
@@ -72,7 +73,12 @@ class Delta:
 
     # -- inspection ----------------------------------------------------------
     def counts(self) -> Mapping[Row, int]:
-        return dict(self._counts)
+        """Zero-copy read-only view of the signed row->count mapping.
+
+        Deltas are immutable after construction, so the view is stable;
+        callers that need an independent ``dict`` must copy explicitly.
+        """
+        return MappingProxyType(self._counts)
 
     def count(self, row: Row) -> int:
         return self._counts.get(row, 0)
@@ -121,6 +127,20 @@ class Delta:
     def negated(self) -> "Delta":
         return Delta({row: -c for row, c in self._counts.items()})
 
+    def check_applicable(self, relation: Relation) -> None:
+        """Raise :class:`RelationError` if applying would underflow.
+
+        Split out from :meth:`apply_to` so multi-relation appliers (e.g.
+        ``Database.apply_deltas``) can validate every delta before
+        mutating anything, instead of dry-running on a full copy.
+        """
+        for row, count in self._counts.items():
+            if count < 0 and relation.multiplicity(row) < -count:
+                raise RelationError(
+                    f"delta deletes {-count} copies of {row} but relation "
+                    f"holds {relation.multiplicity(row)}"
+                )
+
     def apply_to(self, relation: Relation) -> None:
         """Mutate ``relation`` by this delta.
 
@@ -129,13 +149,11 @@ class Delta:
         :class:`RelationError` if a deletion exceeds the multiplicity
         present — that always indicates a maintenance bug upstream.
         """
-        for row, count in sorted(self._counts.items()):
-            if count < 0:
-                if relation.multiplicity(row) < -count:
-                    raise RelationError(
-                        f"delta deletes {-count} copies of {row} but relation "
-                        f"holds {relation.multiplicity(row)}"
-                    )
+        self.check_applicable(relation)
+        self._apply_unchecked(relation)
+
+    def _apply_unchecked(self, relation: Relation) -> None:
+        """Apply without re-validating — caller ran ``check_applicable``."""
         for row, count in self._counts.items():
             if count < 0:
                 relation.delete(row, -count)
@@ -170,10 +188,11 @@ def _propagate(
     expr: Expression,
     pre: "DatabaseLike",
     deltas: Mapping[str, Delta],
-) -> dict[Row, int]:
+) -> Mapping[Row, int]:
     if isinstance(expr, BaseRelation):
         delta = deltas.get(expr.name)
-        return dict(delta.counts()) if delta else {}
+        # The view is read-only downstream, so no defensive copy is needed.
+        return delta.counts() if delta else {}
     if isinstance(expr, Select):
         child = _propagate(expr.child, pre, deltas)
         return {r: c for r, c in child.items() if expr.predicate.evaluate(r)}
@@ -253,7 +272,7 @@ def _eval_counts_group_restricted(
     pre: "DatabaseLike",
     group_by: tuple[str, ...],
     affected: set[tuple],
-) -> dict[Row, int]:
+) -> Mapping[Row, int]:
     """Evaluate ``expr`` keeping only rows whose group key is ``affected``.
 
     The group-key restriction is pushed down as far as possible so the
@@ -270,9 +289,9 @@ def _eval_counts_group_restricted(
     def keep(row: Row) -> bool:
         return tuple(row[a] for a in group_by) in affected
 
-    def walk(node: Expression, can_filter: bool) -> dict[Row, int]:
+    def walk(node: Expression, can_filter: bool) -> Mapping[Row, int]:
         if isinstance(node, BaseRelation):
-            counts = dict(pre.relation(node.name).counts())
+            counts = pre.relation(node.name).counts_view()
             if can_filter and all(
                 a in pre.schemas[node.name] for a in group_by
             ):

@@ -1,0 +1,79 @@
+"""Incrementally-maintained hash indexes over multiset relations.
+
+A :class:`HashIndex` maps a key tuple (the values of a fixed attribute
+list) to the bag of rows carrying that key.  Indexes are the probe
+structure behind :mod:`repro.relational.plan`: instead of materializing an
+entire join side to match it against a delta, maintenance probes only the
+buckets named by the delta's join keys — O(|delta| x matching rows)
+instead of O(|side|).
+
+Indexes are owned by :class:`~repro.relational.relation.Relation` (see
+``Relation.index_on``), built lazily on first use and kept in lockstep by
+``insert``/``delete``.  Every attribute in the key must be present on
+every row of the relation (schema-derived keys guarantee this).
+"""
+
+from __future__ import annotations
+
+from types import MappingProxyType
+from typing import Iterable, Mapping
+
+from repro.relational.rows import Row
+
+#: shared empty probe result — callers iterate it without allocating
+_EMPTY: Mapping[Row, int] = MappingProxyType({})
+
+
+class HashIndex:
+    """A bag index: key tuple -> {row: multiplicity}."""
+
+    __slots__ = ("attrs", "_buckets")
+
+    def __init__(self, attrs: Iterable[str]) -> None:
+        self.attrs = tuple(attrs)
+        self._buckets: dict[tuple, dict[Row, int]] = {}
+
+    def key_of(self, row: Row) -> tuple:
+        return tuple(row[a] for a in self.attrs)
+
+    # -- maintenance -------------------------------------------------------
+    def build(self, counts: Mapping[Row, int]) -> None:
+        """(Re)build from a row->count mapping, discarding prior state."""
+        self._buckets.clear()
+        for row, count in counts.items():
+            self.add(row, count)
+
+    def add(self, row: Row, count: int) -> None:
+        bucket = self._buckets.setdefault(self.key_of(row), {})
+        bucket[row] = bucket.get(row, 0) + count
+
+    def remove(self, row: Row, count: int) -> None:
+        key = self.key_of(row)
+        bucket = self._buckets[key]
+        remaining = bucket[row] - count
+        if remaining:
+            bucket[row] = remaining
+        else:
+            del bucket[row]
+            if not bucket:
+                del self._buckets[key]
+
+    # -- probing ------------------------------------------------------------
+    def bucket(self, key: tuple) -> Mapping[Row, int]:
+        """The rows whose key attributes equal ``key`` (zero-copy view).
+
+        Returns an empty mapping for absent keys.  The result aliases
+        live index state — callers must not hold it across mutations.
+        """
+        found = self._buckets.get(key)
+        return found if found is not None else _EMPTY
+
+    def keys(self) -> Iterable[tuple]:
+        return self._buckets.keys()
+
+    def __len__(self) -> int:
+        """Number of distinct keys."""
+        return len(self._buckets)
+
+    def __repr__(self) -> str:
+        return f"HashIndex(on={self.attrs!r}, keys={len(self._buckets)})"

@@ -7,6 +7,13 @@ recomputation equivalence checkable at any time.  It is independent of the
 simulation machinery — useful for embedding the maintenance engine in
 other systems (or for testing the delta rules in isolation).
 
+By default maintenance runs through a compiled
+:class:`~repro.relational.plan.MaintenancePlan` (hash-indexed join
+probes, self-maintained aggregates — O(|delta|) per update); expressions
+the plan compiler does not support fall back transparently to the
+unindexed :func:`~repro.relational.delta.propagate_delta` path.  Both
+paths implement the same counting rules, so results are identical.
+
 Usage::
 
     db = Database(); ...create relations...
@@ -25,16 +32,28 @@ from repro.relational.algebra import evaluate
 from repro.relational.database import Database
 from repro.relational.delta import Delta, propagate_delta
 from repro.relational.expressions import ViewDefinition
+from repro.relational.plan import MaintenancePlan, PlanUnsupported
 from repro.relational.relation import Relation
 
 
 class MaterializedView:
     """A view result kept in lockstep with its base data."""
 
-    def __init__(self, definition: ViewDefinition, database: Database) -> None:
+    def __init__(
+        self,
+        definition: ViewDefinition,
+        database: Database,
+        use_plan: bool = True,
+    ) -> None:
         self.definition = definition
         self.database = database
         self._contents = evaluate(definition.expression, database)
+        self.plan: MaintenancePlan | None = None
+        if use_plan:
+            try:
+                self.plan = MaintenancePlan(definition.expression, database)
+            except PlanUnsupported:
+                self.plan = None  # unindexed propagate_delta fallback
         self.deltas_applied = 0
         self.rows_changed = 0
 
@@ -56,10 +75,15 @@ class MaterializedView:
         advanced after the view delta has been computed against the
         pre-state, so a failure leaves both untouched.
         """
-        view_delta = propagate_delta(
-            self.definition.expression, self.database, base_deltas
-        )
-        self.database.apply_deltas(dict(base_deltas))
+        if self.plan is not None:
+            view_delta = self.plan.propagate(base_deltas)
+            self.database.apply_deltas(base_deltas)
+            self.plan.advance()
+        else:
+            view_delta = propagate_delta(
+                self.definition.expression, self.database, base_deltas
+            )
+            self.database.apply_deltas(base_deltas)
         view_delta.apply_to(self._contents)
         self.deltas_applied += 1
         self.rows_changed += len(view_delta)
@@ -76,5 +100,11 @@ class MaterializedView:
             )
 
     def refresh(self) -> None:
-        """Recompute from scratch (periodic-refresh style)."""
+        """Recompute from scratch (periodic-refresh style).
+
+        Also rebuilds the plan's auxiliary state, so ``refresh`` is the
+        recovery handle after out-of-band database mutations.
+        """
         self._contents = evaluate(self.definition.expression, self.database)
+        if self.plan is not None:
+            self.plan.rebuild()

@@ -1,0 +1,413 @@
+"""Compiled incremental-maintenance plans (indexed self-maintenance).
+
+``propagate_delta`` (:mod:`repro.relational.delta`) is correct but pays
+O(|base|) per update: its join rule materializes the *entire* opposite
+side of every join (``_eval_counts``) to match it against a delta, and its
+aggregate rule rescans base relations to restrict them to affected
+groups.  A :class:`MaintenancePlan` compiles a
+:class:`~repro.relational.expressions.ViewDefinition`'s expression once
+and keeps auxiliary structures so each update touches only rows matching
+the delta:
+
+* **Join inputs are probed, never rebuilt.**  A base-relation input
+  probes the relation's lazily-built hash index
+  (:meth:`Relation.index_on`) on the join attributes; a derived input
+  (anything that is not a bare base relation) is materialized once at
+  compile time as an auxiliary :class:`Relation` — the self-maintenance
+  style of Aziz & Batool (arXiv:1406.7685) — and thereafter maintained
+  incrementally and probed through its own index.
+* **Aggregates are self-maintained.**  Count/sum group-bys keep a
+  per-group state table (row count + running sums), so an update needs
+  only the child delta and the touched groups' old states — the
+  group-restricted re-evaluation of the unindexed path disappears
+  entirely.
+* **Schema inference and join attributes are computed once**, at compile
+  time, instead of per update.
+
+Per-update cost drops from O(|base|) to O(|delta| x matching rows).
+
+Usage (the pattern :class:`~repro.relational.maintain.MaterializedView`
+and the cached view managers follow)::
+
+    plan = MaintenancePlan(definition.expression, db)
+    view_delta = plan.propagate(base_deltas)   # pure, reads pre-state
+    db.apply_deltas(base_deltas)               # advance the base data
+    plan.advance()                             # advance the aux state
+
+``propagate`` never mutates, so a failed batch leaves everything
+untouched; ``advance`` consumes the deltas staged by the most recent
+``propagate``.  Expressions containing node types the compiler does not
+know raise :class:`PlanUnsupported` — callers fall back to the equivalent
+unindexed ``propagate_delta``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from types import MappingProxyType
+from typing import Mapping
+
+from repro.errors import ExpressionError
+from repro.relational.algebra import _eval_counts, join_counts
+from repro.relational.delta import Delta
+from repro.relational.expressions import (
+    Aggregate,
+    BaseRelation,
+    Expression,
+    Join,
+    Project,
+    Select,
+)
+from repro.relational.relation import Relation
+from repro.relational.rows import Row
+
+_EMPTY: Mapping[Row, int] = MappingProxyType({})
+
+
+class PlanUnsupported(ExpressionError):
+    """The expression contains a node the plan compiler cannot handle."""
+
+
+class _BaseNode:
+    """A base-relation leaf: deltas come straight from the update batch.
+
+    When the leaf feeds a join (``probe_key`` set), probes go through the
+    live relation's hash index on the join attributes.  The relation
+    object is resolved once at compile time; the index is re-fetched per
+    probe so a ``clear``/``replace_all`` (which drops indexes) can never
+    leave a stale probe structure behind.
+    """
+
+    __slots__ = ("name", "relation", "probe_key")
+
+    def __init__(self, name: str, relation: Relation, probe_key=None) -> None:
+        self.name = name
+        self.relation = relation
+        self.probe_key = probe_key
+
+    def delta(self, deltas: Mapping[str, Delta], staged: dict) -> Mapping[Row, int]:
+        delta = deltas.get(self.name)
+        return delta.counts() if delta else _EMPTY
+
+    def probe(self, key: tuple) -> Mapping[Row, int]:
+        return self.relation.index_on(self.probe_key).bucket(key)
+
+    def advance(self, staged: dict) -> None:
+        pass  # the caller advances the base database itself
+
+    def rebuild(self) -> None:
+        pass
+
+    def describe(self, depth: int) -> list[str]:
+        probe = f" [indexed on {self.probe_key}]" if self.probe_key is not None else ""
+        return ["  " * depth + f"base {self.name}{probe}"]
+
+
+class _SelectNode:
+    __slots__ = ("predicate", "child")
+
+    def __init__(self, predicate, child) -> None:
+        self.predicate = predicate
+        self.child = child
+
+    def delta(self, deltas, staged) -> Mapping[Row, int]:
+        child = self.child.delta(deltas, staged)
+        if not child:
+            return _EMPTY
+        return {r: c for r, c in child.items() if self.predicate.evaluate(r)}
+
+    def advance(self, staged) -> None:
+        self.child.advance(staged)
+
+    def rebuild(self) -> None:
+        self.child.rebuild()
+
+    def describe(self, depth: int) -> list[str]:
+        return ["  " * depth + f"select[{self.predicate}]"] + self.child.describe(depth + 1)
+
+
+class _ProjectNode:
+    __slots__ = ("names", "child")
+
+    def __init__(self, names, child) -> None:
+        self.names = names
+        self.child = child
+
+    def delta(self, deltas, staged) -> Mapping[Row, int]:
+        child = self.child.delta(deltas, staged)
+        if not child:
+            return _EMPTY
+        out: dict[Row, int] = defaultdict(int)
+        for row, count in child.items():
+            out[row.project(self.names)] += count
+        return {r: c for r, c in out.items() if c}
+
+    def advance(self, staged) -> None:
+        self.child.advance(staged)
+
+    def rebuild(self) -> None:
+        self.child.rebuild()
+
+    def describe(self, depth: int) -> list[str]:
+        names = ", ".join(self.names)
+        return ["  " * depth + f"project[{names}]"] + self.child.describe(depth + 1)
+
+
+class _MatInput:
+    """A join input materialized as an auxiliary relation.
+
+    ``delta`` computes the wrapped subexpression's delta and stages it;
+    ``advance`` folds the staged delta into the auxiliary relation, whose
+    hash index on the join attributes is what ``probe`` reads.
+    """
+
+    __slots__ = ("expr", "node", "rel", "probe_key", "_db")
+
+    def __init__(self, expr: Expression, node, db, probe_key) -> None:
+        self.expr = expr
+        self.node = node
+        self._db = db
+        self.probe_key = probe_key
+        self.rel = Relation.from_counts(_eval_counts(expr, db))
+
+    def delta(self, deltas, staged) -> Mapping[Row, int]:
+        counts = self.node.delta(deltas, staged)
+        staged[id(self)] = counts
+        return counts
+
+    def probe(self, key: tuple) -> Mapping[Row, int]:
+        return self.rel.index_on(self.probe_key).bucket(key)
+
+    def advance(self, staged) -> None:
+        self.node.advance(staged)
+        counts = staged.get(id(self))
+        if counts:
+            # Delta.apply_to validates deletions — any underflow here means
+            # the base data was mutated behind the plan's back.
+            Delta(counts).apply_to(self.rel)
+
+    def rebuild(self) -> None:
+        self.node.rebuild()
+        self.rel = Relation.from_counts(_eval_counts(self.expr, self._db))
+
+    def describe(self, depth: int) -> list[str]:
+        head = ("  " * depth
+                + f"aux materialization [indexed on {self.probe_key}, "
+                + f"{len(self.rel)} rows] of:")
+        return [head] + self.node.describe(depth + 1)
+
+
+class _JoinNode:
+    """d(L |><| R) = dL |><| R_old + L_old |><| dR + dL |><| dR.
+
+    The old sides are never rebuilt: each single-delta term probes the
+    opposite input's index with only the delta rows' join keys.
+    """
+
+    __slots__ = ("left", "right", "on")
+
+    def __init__(self, left, right, on) -> None:
+        self.left = left
+        self.right = right
+        self.on = on
+
+    def delta(self, deltas, staged) -> Mapping[Row, int]:
+        d_left = self.left.delta(deltas, staged)
+        d_right = self.right.delta(deltas, staged)
+        if not d_left and not d_right:
+            return _EMPTY
+        on = self.on
+        out: dict[Row, int] = defaultdict(int)
+        if d_left:
+            for row, count in d_left.items():
+                key = tuple(row[a] for a in on)
+                for other, other_count in self.right.probe(key).items():
+                    out[row.merge(other)] += count * other_count
+        if d_right:
+            for row, count in d_right.items():
+                key = tuple(row[a] for a in on)
+                for other, other_count in self.left.probe(key).items():
+                    out[other.merge(row)] += count * other_count
+        if d_left and d_right:
+            for row, count in join_counts(d_left, d_right, on).items():
+                out[row] += count
+        return {r: c for r, c in out.items() if c}
+
+    def advance(self, staged) -> None:
+        self.left.advance(staged)
+        self.right.advance(staged)
+
+    def rebuild(self) -> None:
+        self.left.rebuild()
+        self.right.rebuild()
+
+    def describe(self, depth: int) -> list[str]:
+        head = "  " * depth + f"join[on={self.on}]"
+        return ([head] + self.left.describe(depth + 1)
+                + self.right.describe(depth + 1))
+
+
+class _AggregateNode:
+    """Self-maintained count/sum group-by.
+
+    Keeps one state vector per live group: ``[row_count, agg_1, ...]``.
+    An update folds the child delta's per-group contributions into the old
+    states and emits old-row deletions / new-row insertions for exactly
+    the touched groups — no re-evaluation of the child, restricted or
+    otherwise.
+    """
+
+    __slots__ = ("expr", "child", "group_by", "aggregates", "_groups", "_db")
+
+    def __init__(self, expr: Aggregate, child, db) -> None:
+        self.expr = expr
+        self.child = child
+        self.group_by = expr.group_by
+        self.aggregates = expr.aggregates
+        self._db = db
+        self._groups: dict[tuple, list] = {}
+        self._accumulate(self._groups, _eval_counts(expr.child, db))
+
+    def _accumulate(self, groups: dict[tuple, list], counts: Mapping[Row, int]) -> None:
+        width = len(self.aggregates)
+        for row, count in counts.items():
+            key = tuple(row[a] for a in self.group_by)
+            state = groups.setdefault(key, [0] * (width + 1))
+            state[0] += count
+            for index, spec in enumerate(self.aggregates, start=1):
+                if spec.fn == "count":
+                    state[index] += count
+                else:
+                    state[index] += count * row[spec.attr]
+
+    def _row_of(self, key: tuple, state: list) -> Row:
+        values = dict(zip(self.group_by, key))
+        for index, spec in enumerate(self.aggregates, start=1):
+            values[spec.alias] = state[index]
+        return Row(values)
+
+    def delta(self, deltas, staged) -> Mapping[Row, int]:
+        d_child = self.child.delta(deltas, staged)
+        if not d_child:
+            return _EMPTY
+        contributions: dict[tuple, list] = {}
+        self._accumulate(contributions, d_child)
+        out: dict[Row, int] = defaultdict(int)
+        new_states: dict[tuple, list] = {}
+        for key, d_state in contributions.items():
+            old_state = self._groups.get(key)
+            if old_state is None:
+                new_state = d_state
+            else:
+                new_state = [o + d for o, d in zip(old_state, d_state)]
+                out[self._row_of(key, old_state)] -= 1
+            if new_state[0] != 0:
+                out[self._row_of(key, new_state)] += 1
+            new_states[key] = new_state
+        staged[id(self)] = new_states
+        return {r: c for r, c in out.items() if c}
+
+    def advance(self, staged) -> None:
+        self.child.advance(staged)
+        for key, state in staged.get(id(self), {}).items():
+            if state[0] != 0:
+                self._groups[key] = state
+            else:
+                self._groups.pop(key, None)
+
+    def rebuild(self) -> None:
+        self.child.rebuild()
+        self._groups = {}
+        self._accumulate(self._groups, _eval_counts(self.expr.child, self._db))
+
+    def describe(self, depth: int) -> list[str]:
+        aggs = ", ".join(str(a) for a in self.aggregates)
+        head = ("  " * depth
+                + f"aggregate[by={self.group_by}; {aggs}] "
+                + f"[{len(self._groups)} group states]")
+        return [head] + self.child.describe(depth + 1)
+
+
+class MaintenancePlan:
+    """An expression compiled for indexed incremental maintenance.
+
+    Compilation evaluates each auxiliary materialization once (O(|base|),
+    amortized over the view's lifetime); every subsequent update costs
+    O(|delta| x matching rows).  The plan assumes the database advances
+    only through the coordinated ``propagate``/``apply_deltas``/
+    ``advance`` sequence — after any out-of-band mutation call
+    :meth:`rebuild`.
+    """
+
+    def __init__(self, expression: Expression, database) -> None:
+        self.expression = expression
+        self._db = database
+        self._schemas = dict(database.schemas)
+        self.schema = expression.infer_schema(self._schemas)
+        self._root = self._compile(expression)
+        self._staged: dict = {}
+        self.propagations = 0
+
+    # -- compilation -------------------------------------------------------
+    def _compile(self, expr: Expression):
+        if isinstance(expr, BaseRelation):
+            return _BaseNode(expr.name, self._db.relation(expr.name))
+        if isinstance(expr, Select):
+            return _SelectNode(expr.predicate, self._compile(expr.child))
+        if isinstance(expr, Project):
+            return _ProjectNode(expr.names, self._compile(expr.child))
+        if isinstance(expr, Join):
+            on = expr.join_attributes(self._schemas)
+            return _JoinNode(
+                self._compile_input(expr.left, on),
+                self._compile_input(expr.right, on),
+                on,
+            )
+        if isinstance(expr, Aggregate):
+            return _AggregateNode(expr, self._compile(expr.child), self._db)
+        raise PlanUnsupported(
+            f"no maintenance plan for {type(expr).__name__} nodes"
+        )
+
+    def _compile_input(self, expr: Expression, on: tuple[str, ...]):
+        """Compile a join operand: indexed base probe or aux materialization."""
+        if isinstance(expr, BaseRelation):
+            return _BaseNode(expr.name, self._db.relation(expr.name), probe_key=on)
+        return _MatInput(expr, self._compile(expr), self._db, on)
+
+    # -- maintenance -------------------------------------------------------
+    def propagate(self, base_deltas: Mapping[str, Delta]) -> Delta:
+        """The view delta induced by ``base_deltas`` on the pre-state.
+
+        Pure: neither the database nor the plan's auxiliary state is
+        mutated.  Stages the per-subexpression deltas that a following
+        :meth:`advance` will fold into the auxiliary structures.
+        """
+        self._staged = {}
+        counts = self._root.delta(base_deltas, self._staged)
+        self.propagations += 1
+        return Delta(counts)
+
+    def advance(self) -> None:
+        """Fold the most recent :meth:`propagate`'s staged deltas in.
+
+        Call exactly once per propagated batch, alongside applying the
+        same base deltas to the database.  A propagate whose batch was
+        abandoned is simply superseded by the next propagate.
+        """
+        self._root.advance(self._staged)
+        self._staged = {}
+
+    def rebuild(self) -> None:
+        """Recompute all auxiliary state from the database (post-drift)."""
+        self._staged = {}
+        self._root.rebuild()
+
+    # -- inspection ---------------------------------------------------------
+    def describe(self) -> str:
+        """A textual rendering of the compiled plan tree."""
+        return "\n".join(self._root.describe(0))
+
+    def __repr__(self) -> str:
+        return (f"MaintenancePlan({self.expression}, "
+                f"propagations={self.propagations})")

@@ -9,9 +9,11 @@ correct under projection and join.
 
 from __future__ import annotations
 
+from types import MappingProxyType
 from typing import Iterable, Iterator, Mapping
 
 from repro.errors import RelationError, SchemaError
+from repro.relational.indexes import HashIndex
 from repro.relational.rows import Row
 from repro.relational.schema import Schema
 
@@ -20,10 +22,11 @@ class Relation:
     """A multiset of rows.
 
     Supports insert/delete with multiplicities, iteration (each row
-    repeated by its count), equality as bags, and cheap copying.
+    repeated by its count), equality as bags, cheap copying, and lazily
+    built hash indexes kept in lockstep by ``insert``/``delete``.
     """
 
-    __slots__ = ("_schema", "_counts", "_size")
+    __slots__ = ("_schema", "_counts", "_size", "_indexes")
 
     def __init__(
         self,
@@ -33,6 +36,7 @@ class Relation:
         self._schema = schema
         self._counts: dict[Row, int] = {}
         self._size = 0
+        self._indexes: dict[tuple[str, ...], HashIndex] = {}
         for row in rows:
             self.insert(row)
 
@@ -84,6 +88,31 @@ class Relation:
         """Iterate (row, multiplicity) pairs."""
         return iter(self._counts.items())
 
+    def counts_view(self) -> Mapping[Row, int]:
+        """A zero-copy read-only view of the row->multiplicity mapping.
+
+        The view aliases live state: it reflects subsequent mutations and
+        must not be held across them by callers that need a snapshot (use
+        ``dict(rel.counts_view())`` for that).
+        """
+        return MappingProxyType(self._counts)
+
+    def index_on(self, attrs: Iterable[str]) -> HashIndex:
+        """The hash index keyed on ``attrs``, built lazily on first use.
+
+        Subsequent ``insert``/``delete`` calls keep it maintained, so
+        repeated probes never pay a rebuild.  ``clear`` (and therefore
+        ``replace_all``) drops all indexes; they rebuild on next use.
+        Every attribute must exist on every row of the relation.
+        """
+        key = tuple(attrs)
+        index = self._indexes.get(key)
+        if index is None:
+            index = HashIndex(key)
+            index.build(self._counts)
+            self._indexes[key] = index
+        return index
+
     def multiplicity(self, row: Row) -> int:
         return self._counts.get(row, 0)
 
@@ -127,6 +156,9 @@ class Relation:
         self._check(row)
         self._counts[row] = self._counts.get(row, 0) + count
         self._size += count
+        if self._indexes:
+            for index in self._indexes.values():
+                index.add(row, count)
 
     def delete(self, row: Row | Mapping[str, object], count: int = 1) -> None:
         """Delete ``count`` copies of ``row``; the row must be present."""
@@ -143,6 +175,9 @@ class Relation:
         else:
             self._counts[row] = present - count
         self._size -= count
+        if self._indexes:
+            for index in self._indexes.values():
+                index.remove(row, count)
 
     def modify(
         self,
@@ -162,6 +197,7 @@ class Relation:
     def clear(self) -> None:
         self._counts.clear()
         self._size = 0
+        self._indexes.clear()
 
     def replace_all(self, rows: Iterable[Row]) -> None:
         """Replace the entire contents (periodic-refresh semantics)."""

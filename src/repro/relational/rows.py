@@ -26,7 +26,7 @@ class Row(Mapping[str, object]):
     were built.
     """
 
-    __slots__ = ("_items", "_dict", "_hash")
+    __slots__ = ("_items", "_dict", "_hash", "_projections")
 
     def __init__(self, values: Mapping[str, object] | None = None, **kwargs: object):
         merged: dict[str, object] = dict(values) if values else {}
@@ -40,6 +40,21 @@ class Row(Mapping[str, object]):
         object.__setattr__(self, "_items", items)
         object.__setattr__(self, "_dict", dict(items))
         object.__setattr__(self, "_hash", hash(items))
+        object.__setattr__(self, "_projections", None)
+
+    @classmethod
+    def _from_sorted_items(cls, items: tuple) -> "Row":
+        """Build from already-normalised (sorted, unique-key) items.
+
+        Skips the merge/sort work of ``__init__`` — only for internal
+        callers that derive ``items`` from an existing row's ``_items``.
+        """
+        row = object.__new__(cls)
+        object.__setattr__(row, "_items", items)
+        object.__setattr__(row, "_dict", dict(items))
+        object.__setattr__(row, "_hash", hash(items))
+        object.__setattr__(row, "_projections", None)
+        return row
 
     # -- Mapping protocol ------------------------------------------------
     def __getitem__(self, name: str) -> object:
@@ -83,8 +98,32 @@ class Row(Mapping[str, object]):
         return tuple(self._dict)
 
     def project(self, names: Iterable[str]) -> "Row":
-        """Return a new row containing only ``names``."""
-        return Row({n: self[n] for n in names})
+        """Return a new row containing only ``names``.
+
+        Results are memoized per (row, name tuple): projection runs once
+        per row per Project node per update, and rows are shared between
+        relations and deltas, so repeat projections are dict hits.  The
+        projected row's items are carved out of this row's already-sorted
+        items, skipping the normalisation sort.
+        """
+        key = tuple(names)
+        cache = self._projections
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_projections", cache)
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+        if not key:
+            raise SchemaError("a row must have at least one attribute")
+        keep = set(key)
+        items = tuple(pair for pair in self._items if pair[0] in keep)
+        if len(items) != len(keep):
+            missing = sorted(keep - self._dict.keys())
+            raise SchemaError(f"row has no attribute {missing[0]!r}")
+        projected = Row._from_sorted_items(items)
+        cache[key] = projected
+        return projected
 
     def merge(self, other: "Row") -> "Row":
         """Combine two rows; shared attributes must agree.

@@ -49,6 +49,7 @@ from repro.messages import (
 from repro.relational.database import Database
 from repro.relational.delta import Delta, propagate_delta
 from repro.relational.expressions import ViewDefinition
+from repro.relational.plan import MaintenancePlan, PlanUnsupported
 from repro.relational.predicates import Predicate
 from repro.relational.relation import Relation
 from repro.relational.rows import Row
@@ -103,6 +104,7 @@ class ViewManager(Process):
         self._buffer: deque[UpdateForView] = deque()
         self._computing = False
         self._replica: Database | None = None
+        self._plan: MaintenancePlan | None = None
         # Per-relation sigma-restriction (selection filtering, [7]): rows a
         # view's selections provably reject are kept out of the replica
         # and out of incoming deltas — they can never contribute.
@@ -154,6 +156,14 @@ class ViewManager(Process):
             )
             replica.create_relation(relation, schema, rows)
         self._replica = replica
+        # Cached mode processes every batch against this one stable
+        # database, so maintenance can run through a compiled indexed
+        # plan; query-back modes rebuild a pre-state per batch and keep
+        # the unindexed path.
+        try:
+            self._plan = MaintenancePlan(self.definition.expression, replica)
+        except PlanUnsupported:
+            self._plan = None
 
     def materialize_initial(self, initial: Database) -> Relation:
         """Compute the view's initial contents (``V(ss_0)``)."""
@@ -274,9 +284,18 @@ class ViewManager(Process):
     def _compute_from(self, pre_state: Database, advance_replica: bool) -> None:
         batch = self._current_batch
         deltas = self._filter_deltas(self._batch_deltas(batch))
-        view_delta = propagate_delta(self.definition.expression, pre_state, deltas)
-        if advance_replica:
+        if advance_replica and self._plan is not None:
+            # Indexed path: probe the replica's hash indexes and the
+            # plan's auxiliary state instead of rescanning base relations.
+            view_delta = self._plan.propagate(deltas)
             pre_state.apply_deltas(deltas)
+            self._plan.advance()
+        else:
+            view_delta = propagate_delta(
+                self.definition.expression, pre_state, deltas
+            )
+            if advance_replica:
+                pre_state.apply_deltas(deltas)
         covered = tuple(msg.update_id for msg in batch)
         cost = self.compute_cost(len(batch), len(view_delta) + 1)
         self.trace(
