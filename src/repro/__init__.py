@@ -35,6 +35,9 @@ Packages:
 * :mod:`repro.workloads`   — schemas and seeded update streams
 * :mod:`repro.obs`         — observability: causal lineage, metrics
   registry, trace exporters (Perfetto / JSONL / timeline)
+* :mod:`repro.conformance` — schedule-exploration conformance engine:
+  seeded violation hunts, delta-debugged minimal reproducers, the
+  guarantee matrix
 """
 
 from repro.errors import (
@@ -99,6 +102,12 @@ from repro.obs import (
     write_jsonl,
     write_timeline,
     write_trace,
+)
+from repro.conformance import (
+    Explorer,
+    Reproducer,
+    ScenarioSpec,
+    run_matrix,
 )
 from repro.system import (
     RunMetrics,
@@ -188,6 +197,11 @@ __all__ = [
     "write_chrome_trace",
     "write_jsonl",
     "write_timeline",
+    # conformance
+    "ScenarioSpec",
+    "Explorer",
+    "Reproducer",
+    "run_matrix",
     # system
     "SystemConfig",
     "WarehouseSystem",

@@ -14,6 +14,10 @@ Commands:
 * ``inspect`` — run a workload and interrogate its observability record:
   per-update causal lineage chains (source commit → warehouse commit,
   with queue-wait vs service breakdowns) and the metrics registry.
+* ``conformance`` — the schedule-exploration engine: ``explore`` hunts a
+  configuration's seed space for MVC violations (and shrinks what it
+  finds), ``replay`` re-executes a saved reproducer byte-for-byte, and
+  ``matrix`` checks the guarantee matrix (see ``docs/conformance.md``).
 
 ``run``, ``sweep`` and ``inspect`` accept ``--trace-out PATH``; the
 extension picks the format — ``.json`` is Chrome/Perfetto-loadable
@@ -29,6 +33,10 @@ Examples::
     python -m repro run --trace-out trace.json
     python -m repro inspect --update 7
     python -m repro inspect --registry proc_ --slowest 3
+    python -m repro conformance explore --manager naive --level strong \\
+        --seeds 200 --out repro.json
+    python -m repro conformance replay repro.json
+    python -m repro conformance matrix --budget 60 --out-dir repros/
 """
 
 from __future__ import annotations
@@ -370,6 +378,10 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument("--trace-out", default=None, metavar="PATH",
                      help="write one trace file per variant "
                      "(trace.json -> trace-<variant>.json)")
+
+    from repro.conformance.cli import add_conformance_parser
+
+    add_conformance_parser(sub)
     return parser
 
 
@@ -383,6 +395,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_sweep(args)
     if args.command == "inspect":
         return _cmd_inspect(args)
+    if args.command == "conformance":
+        from repro.conformance.cli import dispatch
+
+        return dispatch(args)
     return _cmd_run(args)
 
 

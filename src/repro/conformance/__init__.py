@@ -1,0 +1,69 @@
+"""Schedule-exploration conformance engine.
+
+The §2 consistency definitions are promises about *every* execution, but
+a single deterministic run only witnesses one interleaving.  This package
+turns the simulator into a model checker (in the Jepsen/TLC tradition):
+
+* :mod:`~repro.conformance.scenario` — :class:`ScenarioSpec`, a
+  JSON-serializable description of one configuration under test (world,
+  views, workload, fleet, merge algorithm, faults, scheduler kind);
+* :mod:`~repro.conformance.oracle` — what each configuration promises
+  (per view, per pair, fleet-wide) and whether a finished run kept it;
+* :mod:`~repro.conformance.explorer` — drive many seeded runs, turn
+  crashes and broken promises into findings, delta-debug a finding's
+  scheduling perturbations to a 1-minimal :class:`Reproducer`, and
+  replay reproducers byte-for-byte (verified by trace digest);
+* :mod:`~repro.conformance.shrink` — the ``ddmin`` implementation;
+* :mod:`~repro.conformance.matrix` — the guarantee matrix: SPA fleets
+  stay complete, PA fleets stay strong, mixed fleets deliver their
+  weakest member's level, and naive/periodic fleets demonstrably fail.
+
+Entry point: ``python -m repro conformance explore|replay|matrix``.
+"""
+
+from repro.conformance.explorer import (
+    Explorer,
+    Finding,
+    ReplayResult,
+    Reproducer,
+    RunResult,
+    replay,
+)
+from repro.conformance.matrix import (
+    GUARANTEE_MATRIX,
+    MatrixResult,
+    MatrixRow,
+    run_matrix,
+    run_row,
+)
+from repro.conformance.oracle import (
+    Violation,
+    check_run,
+    check_run_at,
+    effective_view_levels,
+    fleet_expected_level,
+)
+from repro.conformance.scenario import SCENARIO_SCHEMAS, ScenarioSpec
+from repro.conformance.shrink import ddmin
+
+__all__ = [
+    "GUARANTEE_MATRIX",
+    "SCENARIO_SCHEMAS",
+    "Explorer",
+    "Finding",
+    "MatrixResult",
+    "MatrixRow",
+    "ReplayResult",
+    "Reproducer",
+    "RunResult",
+    "ScenarioSpec",
+    "Violation",
+    "check_run",
+    "check_run_at",
+    "ddmin",
+    "effective_view_levels",
+    "fleet_expected_level",
+    "replay",
+    "run_matrix",
+    "run_row",
+]

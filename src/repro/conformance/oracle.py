@@ -1,0 +1,225 @@
+"""The conformance oracle: what does a configuration *promise*, and did
+a finished run keep that promise?
+
+Per view, the effective guarantee is the weaker of
+
+* the view manager's single-view level (``complete-n`` and ``periodic``
+  managers promise strong; ``naive`` promises nothing), and
+* the view's merge process level (the algorithm's guarantee, degraded
+  from complete to strong by a non-completeness-preserving submission
+  policy, and ``complete-n`` reading as strong at sub-block granularity).
+
+A run is then checked three ways, strictly following the §2 definitions:
+
+1. **per view** — the view's value sequence against the source state
+   sequence (sound for a single view because the painting algorithms
+   never reorder updates affecting the same view);
+2. **per pair** — every pair of non-broken views via the order-aware
+   checker (:mod:`repro.consistency.ordered`), which accepts any legal
+   conflict-equivalent reordering but rejects cross-view anomalies the
+   single-view checks cannot see;
+3. **fleet-wide** — all views together at the fleet's weakest level.
+
+Violations of levels a configuration never promised are *not* reported:
+the oracle answers "did this run break its advertised guarantee", which
+is exactly what the explorer hunts for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Sequence
+
+from repro.consistency.checker import (
+    check_complete,
+    check_convergent,
+    check_strong,
+)
+from repro.consistency.mvc import check_mvc_convergent
+from repro.consistency.ordered import check_mvc_ordered
+from repro.consistency.states import source_view_values
+from repro.errors import ReproError
+from repro.system.builder import WarehouseSystem
+
+#: total order on achievable levels (broken managers promise nothing).
+LEVEL_ORDER = {"inconsistent": 0, "convergent": 1, "strong": 2, "complete": 3}
+
+#: view-manager kind -> promised single-view level (None = no promise).
+MANAGER_LEVELS: dict[str, str | None] = {
+    "complete": "complete",
+    "strong": "strong",
+    "complete-n": "strong",  # strong at sub-block read granularity
+    "periodic": "strong",
+    "convergent": "convergent",
+    "naive": None,
+}
+
+
+def _weaker(a: str | None, b: str | None) -> str | None:
+    if a is None or b is None:
+        return None
+    return a if LEVEL_ORDER[a] <= LEVEL_ORDER[b] else b
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken promise observed in a run.
+
+    ``scope`` names what was checked ("view:V1", "pair:V1,V2", "fleet",
+    or "run" for an execution error); ``level`` is the promised level
+    that failed (or "execution"); ``reason`` is the checker's (or the
+    exception's) explanation.
+    """
+
+    scope: str
+    level: str
+    reason: str
+
+    def __str__(self) -> str:
+        return f"{self.scope} violates {self.level}: {self.reason}"
+
+
+def merge_effective_level(system: WarehouseSystem, merge_name: str) -> str:
+    """The level a merge process actually delivers to its views."""
+    merge = system._merge_by_name(merge_name)
+    level = merge.algorithm.guarantees_level
+    if level == "complete-n":
+        level = "strong"
+    if level == "complete" and not merge.policy.preserves_completeness:
+        level = "strong"
+    return level
+
+
+def effective_view_levels(system: WarehouseSystem) -> dict[str, str | None]:
+    """Per view: the weaker of its manager's and merge process's promise."""
+    levels: dict[str, str | None] = {}
+    for definition in system.definitions:
+        view = definition.name
+        kind = system.config.kind_for(view)
+        if kind not in MANAGER_LEVELS:
+            raise ReproError(f"unknown manager kind {kind!r} for view {view!r}")
+        manager_level = MANAGER_LEVELS[kind]
+        merge_level = merge_effective_level(system, system.view_to_merge[view])
+        levels[view] = _weaker(manager_level, merge_level)
+    return levels
+
+
+def fleet_expected_level(system: WarehouseSystem) -> str | None:
+    """The fleet-wide promise: the weakest per-view level (None if any
+    view's manager is broken — a fleet with a naive member promises
+    nothing jointly)."""
+    expected: str | None = "complete"
+    for level in effective_view_levels(system).values():
+        expected = _weaker(expected, level)
+    return expected
+
+
+def _check_single_view(level, warehouse_values, source_values):
+    if level == "complete":
+        return check_complete(warehouse_values, source_values)
+    if level == "strong":
+        return check_strong(warehouse_values, source_values)
+    return check_convergent(warehouse_values, source_values)
+
+
+def check_run(system: WarehouseSystem) -> list[Violation]:
+    """Every broken promise in a finished run (empty = conformant).
+
+    The system must have been run to completion (``system.run()`` with no
+    horizon) so the history covers the full update stream.
+    """
+    violations: list[Violation] = []
+    view_levels = effective_view_levels(system)
+    definitions = {d.name: d for d in system.definitions}
+
+    # 1. per-view §2 checks on value sequences.
+    source_states = system.source_states()
+    per_state = source_view_values(source_states, system.definitions)
+    for view, level in view_levels.items():
+        if level is None:
+            continue
+        warehouse_values = [state.view(view) for state in system.history]
+        source_values = [values[view] for values in per_state]
+        report = _check_single_view(level, warehouse_values, source_values)
+        if not report:
+            violations.append(Violation(f"view:{view}", level, report.reason))
+
+    # 2. pairwise MVC (order-aware for strong/complete).
+    checked = [v for v, lvl in view_levels.items() if lvl is not None]
+    for first, second in combinations(checked, 2):
+        level = _weaker(view_levels[first], view_levels[second])
+        pair = [definitions[first], definitions[second]]
+        if level == "convergent":
+            report = check_mvc_convergent(system.history, source_states, pair)
+        else:
+            report = check_mvc_ordered(
+                system.history,
+                system.initial_state,
+                system.integrator.numbered,
+                pair,
+                level,
+            )
+        if not report:
+            violations.append(
+                Violation(f"pair:{first},{second}", level, report.reason)
+            )
+
+    # 3. fleet-wide at the weakest promised level.
+    fleet_level = fleet_expected_level(system)
+    if fleet_level is not None:
+        if fleet_level == "convergent":
+            report = check_mvc_convergent(
+                system.history, source_states, system.definitions
+            )
+        else:
+            report = check_mvc_ordered(
+                system.history,
+                system.initial_state,
+                system.integrator.numbered,
+                system.definitions,
+                fleet_level,
+            )
+        if not report:
+            violations.append(Violation("fleet", fleet_level, report.reason))
+
+    return violations
+
+
+def check_run_at(system: WarehouseSystem, level: str) -> list[Violation]:
+    """Check the whole fleet at an explicit ``level`` (negative oracles).
+
+    Unlike :func:`check_run` this ignores what the configuration
+    promises: it asks whether the run *happens* to satisfy ``level``,
+    which is how the explorer demonstrates that naive or periodic fleets
+    produce detectable violations.
+    """
+    if level not in ("convergent", "strong", "complete"):
+        raise ReproError(f"unknown MVC level {level!r}")
+    if level == "convergent":
+        report = check_mvc_convergent(
+            system.history, system.source_states(), system.definitions
+        )
+    else:
+        report = check_mvc_ordered(
+            system.history,
+            system.initial_state,
+            system.integrator.numbered,
+            system.definitions,
+            level,
+        )
+    if report:
+        return []
+    return [Violation("fleet", level, report.reason)]
+
+
+__all__ = [
+    "LEVEL_ORDER",
+    "MANAGER_LEVELS",
+    "Violation",
+    "check_run",
+    "check_run_at",
+    "effective_view_levels",
+    "fleet_expected_level",
+    "merge_effective_level",
+]

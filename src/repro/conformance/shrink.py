@@ -1,0 +1,80 @@
+"""Delta debugging: shrink a failing perturbation list to a 1-minimal one.
+
+When the explorer finds a violating run under a
+:class:`~repro.sim.scheduler.DelayInjectingScheduler`, the schedule is
+fully described by the scheduler's recorded perturbations.  Because each
+perturbation is addressed by a stable ``(lane, index)`` key and its
+randomness is hashed statelessly, *any subset* of the list replays
+meaningfully — removing one perturbation does not shift the others.
+That makes the schedule a textbook delta-debugging target: ``ddmin``
+(Zeller & Hildebrandt 2002) repeatedly removes chunks, keeping a subset
+whenever the violation survives, until no single remaining perturbation
+can be dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def ddmin(
+    items: Sequence[T],
+    still_fails: Callable[[list[T]], bool],
+    max_runs: int = 512,
+) -> tuple[list[T], int]:
+    """A 1-minimal sublist of ``items`` for which ``still_fails`` holds.
+
+    ``still_fails(subset)`` must be True for the full list; the result is
+    the smallest list found within ``max_runs`` predicate evaluations
+    (1-minimal if the budget was not exhausted: removing any single
+    element makes the failure vanish).  Returns ``(minimal, runs_used)``.
+    """
+    runs = 0
+
+    def test(subset: list[T]) -> bool:
+        nonlocal runs
+        runs += 1
+        return still_fails(subset)
+
+    current = list(items)
+    # Cheap best case first: the failure may not need perturbations at all
+    # (e.g. the workload alone triggers it).
+    if not current or test([]):
+        return [], runs
+
+    granularity = 2
+    while len(current) >= 2 and runs < max_runs:
+        chunk = max(1, len(current) // granularity)
+        chunks = [current[i : i + chunk] for i in range(0, len(current), chunk)]
+        reduced = False
+        for index, piece in enumerate(chunks):
+            if runs >= max_runs:
+                break
+            complement = [
+                item
+                for j, other in enumerate(chunks)
+                if j != index
+                for item in other
+            ]
+            if complement and test(complement):
+                current = complement
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+            if runs >= max_runs:
+                break
+            if len(piece) < len(current) and test(list(piece)):
+                current = list(piece)
+                granularity = 2
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(current):
+                break
+            granularity = min(len(current), granularity * 2)
+    return current, runs
+
+
+__all__ = ["ddmin"]

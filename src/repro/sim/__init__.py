@@ -24,6 +24,13 @@ from repro.sim.network import (
     Transmission,
     UniformLatency,
 )
+from repro.sim.scheduler import (
+    DelayInjectingScheduler,
+    FifoScheduler,
+    Perturbation,
+    RandomScheduler,
+    Scheduler,
+)
 from repro.sim.tracing import Trace, TraceEvent
 
 __all__ = [
@@ -36,6 +43,11 @@ __all__ = [
     "FixedLatency",
     "UniformLatency",
     "ExponentialLatency",
+    "Scheduler",
+    "FifoScheduler",
+    "RandomScheduler",
+    "DelayInjectingScheduler",
+    "Perturbation",
     "Trace",
     "TraceEvent",
 ]

@@ -1,8 +1,19 @@
 """The event queue at the heart of the simulator.
 
 A :class:`Simulator` owns virtual time and a priority queue of scheduled
-callbacks.  Ties in time are broken by insertion order, which makes runs
-bit-for-bit deterministic for a given seed and schedule.
+callbacks.  By default, ties in time are broken by insertion order, which
+makes runs bit-for-bit deterministic for a given seed and schedule.  A
+pluggable :class:`~repro.sim.scheduler.Scheduler` may perturb that policy
+(random tie-breaks, adversarial channel delays) for schedule exploration;
+the kernel itself guarantees the perturbations stay *causally sound*:
+
+Events may be tagged with a FIFO ``lane`` (channels tag their deliveries
+with their endpoint pair).  Whatever ``(time, tie_break)`` priority the
+scheduler assigns, the kernel clamps each ordered lane's priorities to be
+non-decreasing in scheduling order — so events from the same sender on
+the same channel can never be reordered, only delayed.  Tie-breaking
+otherwise still falls back to :mod:`itertools`.count insertion order, so
+the default scheduler reproduces the historical behaviour exactly.
 """
 
 from __future__ import annotations
@@ -14,6 +25,7 @@ from typing import Callable
 
 from repro.errors import SimulationError
 from repro.obs.registry import MetricsRegistry
+from repro.sim.scheduler import Scheduler
 from repro.sim.tracing import Trace
 
 
@@ -33,13 +45,19 @@ class Simulator:
     :mod:`repro.obs`).
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, scheduler: Scheduler | None = None) -> None:
         self._now = 0.0
-        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._queue: list[tuple[float, float, int, Callable[[], None]]] = []
         self._sequence = itertools.count()
         self._running = False
         self._events_executed = 0
         self.rng = random.Random(seed)
+        self.scheduler = scheduler if scheduler is not None else Scheduler()
+        self.scheduler.reset()
+        # Per-lane high-water marks enforcing causal order under any
+        # scheduler: an ordered lane's (time, tie_break) keys never
+        # decrease, so same-channel deliveries keep their send order.
+        self._lane_marks: dict[object, tuple[float, float]] = {}
         self.trace = Trace()
         self.metrics = MetricsRegistry()
 
@@ -57,16 +75,25 @@ class Simulator:
         return len(self._queue)
 
     def schedule(
-        self, delay: float, callback: Callable[..., None], *args: object
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: object,
+        lane: object = None,
+        ordered: bool = True,
     ) -> None:
         """Run ``callback(*args)`` after ``delay`` units of virtual time."""
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        bound = (lambda: callback(*args)) if args else callback
-        heapq.heappush(self._queue, (self._now + delay, next(self._sequence), bound))
+        self._push(self._now + delay, callback, args, lane, ordered)
 
     def schedule_at(
-        self, time: float, callback: Callable[..., None], *args: object
+        self,
+        time: float,
+        callback: Callable[..., None],
+        *args: object,
+        lane: object = None,
+        ordered: bool = True,
     ) -> None:
         """Run ``callback(*args)`` at absolute virtual time ``time``.
 
@@ -74,13 +101,41 @@ class Simulator:
         relative delay would perturb the low float bits and could reorder
         events meant to fire at exactly the same instant (breaking the
         FIFO guarantee channels rely on).
+
+        ``lane`` names the FIFO stream the event belongs to (channels
+        pass their endpoint pair); the active scheduler may stretch or
+        re-key lane events, but for ``ordered`` lanes the kernel clamps
+        the adjusted priorities so same-lane events can never overtake
+        one another.  ``ordered=False`` (lossy channels) opts out of the
+        clamp while keeping the lane identity for perturbation targeting.
         """
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at {time}, now is {self._now}"
             )
+        self._push(time, callback, args, lane, ordered)
+
+    def _push(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        args: tuple,
+        lane: object,
+        ordered: bool,
+    ) -> None:
         bound = (lambda: callback(*args)) if args else callback
-        heapq.heappush(self._queue, (time, next(self._sequence), bound))
+        when, tie_break = self.scheduler.adjust(time, lane)
+        if when < time:
+            raise SimulationError(
+                f"{type(self.scheduler).__name__} moved an event earlier "
+                f"({time} -> {when}); schedulers may only delay"
+            )
+        if lane is not None and ordered:
+            mark = self._lane_marks.get(lane)
+            if mark is not None and (when, tie_break) < mark:
+                when, tie_break = mark
+            self._lane_marks[lane] = (when, tie_break)
+        heapq.heappush(self._queue, (when, tie_break, next(self._sequence), bound))
 
     def run(self, until: float | None = None, max_events: int | None = None) -> int:
         """Execute events until the queue drains (or a bound is hit).
@@ -96,7 +151,7 @@ class Simulator:
         hit_event_cap = False
         try:
             while self._queue:
-                time, _seq, callback = self._queue[0]
+                time, _tie, _seq, callback = self._queue[0]
                 if until is not None and time > until:
                     break
                 if max_events is not None and executed >= max_events:

@@ -105,6 +105,10 @@ class Channel:
         self.source = source
         self.destination = destination
         self.latency = latency
+        # FIFO lane identity: schedulers may perturb deliveries per lane,
+        # and the kernel clamps ordered lanes so same-channel messages
+        # can never overtake each other (see repro.sim.scheduler).
+        self.lane = (source.name, destination.name)
         self._last_delivery = 0.0
         self.messages_sent = 0
         # Registry mirror: per-(src, dst) traffic counters.  The plain
@@ -133,7 +137,7 @@ class Channel:
             to=self.destination.name,
             message=type(message).__name__,
         )
-        self._sim.schedule_at(deliver_at, self._deliver, message)
+        self._sim.schedule_at(deliver_at, self._deliver, message, lane=self.lane)
         return deliver_at
 
     def _deliver(self, message: object) -> None:
@@ -228,12 +232,17 @@ class LossyChannel(Channel):
         else:
             delay = self.latency.sample(self._sim.rng) + decision.extra_delay
             arrival = now + delay
-            self._sim.schedule_at(arrival, deliver, message)
+            # ordered=False: a lossy transport has no FIFO guarantee, so
+            # the kernel must not clamp scheduler perturbations here —
+            # reordering is precisely the fault this channel models.
+            self._sim.schedule_at(
+                arrival, deliver, message, lane=self.lane, ordered=False
+            )
         for _ in range(decision.duplicates):
             self.messages_duplicated += 1
             self._m_duplicated.inc()
             delay = self.latency.sample(self._sim.rng) + decision.extra_delay
-            self._sim.schedule(delay, deliver, message)
+            self._sim.schedule(delay, deliver, message, lane=self.lane, ordered=False)
         return arrival
 
     def send(self, message: object) -> float:

@@ -118,6 +118,27 @@ class Trace:
         self._events.clear()
         self._pending.clear()
 
+    def digest(self) -> str:
+        """A stable SHA-256 over every recorded event.
+
+        Two runs are "byte-for-byte identical" for our purposes iff their
+        digests match: the hash covers each event's time, kind, process
+        and (sorted) detail payload.  The conformance engine uses this to
+        pin determinism regressions and to verify that a shrunk
+        reproducer replays to exactly the run that was shrunk.
+        """
+        import hashlib
+
+        h = hashlib.sha256()
+        for event in self._materialise():
+            h.update(
+                repr(
+                    (event.time, event.kind, event.process,
+                     sorted(event.detail.items()))
+                ).encode("utf-8")
+            )
+        return h.hexdigest()
+
     def to_records(self, *kinds: str) -> list[dict]:
         """JSON-serialisable event records (optionally filtered by kind)."""
         wanted = set(kinds)

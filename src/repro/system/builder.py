@@ -89,7 +89,7 @@ class WarehouseSystem:
         self.world = world
         self.definitions = tuple(definitions)
         self.config = config if config is not None else SystemConfig()
-        self.sim = Simulator(seed=self.config.seed)
+        self.sim = Simulator(seed=self.config.seed, scheduler=self.config.scheduler)
         self.sim.trace.enabled = self.config.trace_enabled
         self.sim.trace.kinds = self.config.trace_kinds
         self._initial_state = world.current.snapshot()
@@ -194,6 +194,9 @@ class WarehouseSystem:
             for merge_name, views in merge_groups.items()
             for view in views
         }
+        # Kept public: the conformance oracle derives per-view effective
+        # guarantee levels from each view's merge process.
+        self.view_to_merge = dict(view_to_merge)
         relevance = (
             RelevanceFilter(self.definitions, schemas, use_selections=True)
             if cfg.use_selection_filtering
@@ -417,6 +420,11 @@ class WarehouseSystem:
     def history(self):
         """The warehouse state sequence ``ws_0 .. ws_q``."""
         return self.store.history
+
+    @property
+    def initial_state(self) -> Database:
+        """``ss_0``: the base-data snapshot the views were materialized at."""
+        return self._initial_state
 
     def source_states(self) -> list[Database]:
         """``ss_0 .. ss_f`` replayed in integrator numbering order."""

@@ -8,6 +8,7 @@ from typing import Mapping
 from repro.errors import ReproError
 from repro.faults.plan import FaultPlan
 from repro.sim.network import LatencyModel
+from repro.sim.scheduler import Scheduler
 from repro.viewmgr.base import CostModel, default_cost
 
 MANAGER_KINDS = (
@@ -79,6 +80,11 @@ class SystemConfig:
     # fault injection (None = the paper's perfect environment)
     fault_plan: FaultPlan | None = None
 
+    # event scheduling (None = deterministic FIFO tie-breaks).  A
+    # Scheduler instance is stateful per run: build one system per
+    # instance (see repro.sim.scheduler and repro.conformance).
+    scheduler: Scheduler | None = None
+
     # bookkeeping
     seed: int = 0
     record_history: bool = True
@@ -121,6 +127,13 @@ class SystemConfig:
         if self.fault_plan is not None and not isinstance(self.fault_plan, FaultPlan):
             raise ReproError(
                 f"fault_plan must be a FaultPlan, got {type(self.fault_plan).__name__}"
+            )
+        if self.scheduler is not None and not callable(
+            getattr(self.scheduler, "adjust", None)
+        ):
+            raise ReproError(
+                f"scheduler must provide adjust(time, lane), "
+                f"got {type(self.scheduler).__name__}"
             )
 
     def kind_for(self, view: str) -> str:

@@ -1,0 +1,55 @@
+"""Determinism regression: the default schedule is frozen.
+
+The golden digests below were captured from the pristine tree *before*
+the scheduler hook landed in the kernel.  The default configuration
+(``scheduler=None``) must reproduce them bit-for-bit forever: any change
+to event ordering, tie-breaking, or trace content shows up here first.
+If a digest moves, that is a determinism regression (or a deliberate
+trace-format change — recapture only with justification in the commit).
+"""
+
+import pytest
+
+from repro.system.builder import WarehouseSystem
+from repro.system.config import SystemConfig
+from repro.workloads.generator import UpdateStreamGenerator, WorkloadSpec, post_stream
+from repro.workloads.schemas import paper_views_example2, paper_world
+
+GOLDEN = {
+    ("complete", "dependency-sequenced", 13):
+        "8a6684c90b20021e38521f61b602c8feb0641bc50944e4444498a53441eb46b1",
+    ("strong", "batching", 7):
+        "6a1f816184edb48ad2e4befaeb6063e6f12ad77682220a4c52898990db8c45f3",
+    ("convergent", "sequential", 3):
+        "fd77b9098ee3738639774e795fa1c20716e4dc26edf5b037734f8bc1727682f2",
+}
+
+
+def run_digest(manager, policy, seed):
+    world = paper_world()
+    config = SystemConfig(
+        manager_kind=manager, submission_policy=policy, seed=seed
+    )
+    system = WarehouseSystem(world, paper_views_example2(), config)
+    spec = WorkloadSpec(
+        updates=30,
+        rate=2.0,
+        seed=seed,
+        mix=(0.6, 0.2, 0.2),
+        arrivals="poisson",
+        multi_update_fraction=0.2,
+    )
+    post_stream(system, UpdateStreamGenerator(world, spec).transactions())
+    system.run()
+    return system.sim.trace.digest()
+
+
+class TestGoldenDigests:
+    @pytest.mark.parametrize("key", sorted(GOLDEN))
+    def test_default_schedule_unchanged(self, key):
+        manager, policy, seed = key
+        assert run_digest(manager, policy, seed) == GOLDEN[key]
+
+    def test_digest_is_stable_across_reruns(self):
+        key = ("complete", "dependency-sequenced", 13)
+        assert run_digest(*key) == run_digest(*key)

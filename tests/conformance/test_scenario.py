@@ -1,0 +1,119 @@
+"""ScenarioSpec: validation, JSON round-trips, deterministic builds."""
+
+import pytest
+
+from repro.conformance.scenario import SCENARIO_SCHEMAS, ScenarioSpec
+from repro.errors import ReproError
+from repro.faults.plan import CrashSpec, FaultPlan
+from repro.sim.scheduler import (
+    DelayInjectingScheduler,
+    RandomScheduler,
+    Scheduler,
+)
+
+
+class TestValidation:
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(ReproError, match="schema"):
+            ScenarioSpec(schema="nope")
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(ReproError, match="scheduler"):
+            ScenarioSpec(scheduler="chaotic")
+
+    def test_negative_views_rejected(self):
+        with pytest.raises(ReproError, match="views"):
+            ScenarioSpec(views=-1)
+
+    def test_too_many_views_rejected_at_materialize(self):
+        with pytest.raises(ReproError, match="cannot take"):
+            ScenarioSpec(schema="paper", views=99).materialize()
+
+
+class TestMaterialize:
+    def test_every_schema_materializes(self):
+        for name in SCENARIO_SCHEMAS:
+            world, views = ScenarioSpec(schema=name).materialize()
+            assert views
+            assert world.schemas
+
+    def test_views_prefix(self):
+        _world, views = ScenarioSpec(schema="paper-wide", views=2).materialize()
+        assert [v.name for v in views] == ["V1", "V2"]
+
+    def test_zero_means_all(self):
+        _world, views = ScenarioSpec(schema="paper-wide", views=0).materialize()
+        assert len(views) == 4
+
+
+class TestSerialization:
+    def test_round_trip_plain(self):
+        spec = ScenarioSpec(schema="paper", updates=9, rate=1.5)
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_round_trip_with_faults_and_fleet(self):
+        spec = ScenarioSpec(
+            schema="paper-wide",
+            views=3,
+            manager_kinds={"V1": "complete", "V2": "naive"},
+            fault_plan=FaultPlan(
+                seed=5,
+                drop_rate=0.1,
+                duplicate_rate=0.02,
+                crashes=(CrashSpec(process="merge", at=4.0, restart_after=2.0),),
+                reliable=True,
+            ),
+            scheduler="random",
+            vary_workload=False,
+        )
+        again = ScenarioSpec.from_json(spec.to_json())
+        assert again == spec
+        assert again.fault_plan.crashes[0].process == "merge"
+
+    def test_unknown_field_rejected(self):
+        data = ScenarioSpec().to_dict()
+        data["warp_factor"] = 9
+        with pytest.raises(ReproError, match="warp_factor"):
+            ScenarioSpec.from_dict(data)
+
+
+class TestSchedulers:
+    def test_kinds(self):
+        assert type(ScenarioSpec(scheduler="fifo").make_scheduler(1)) is Scheduler
+        assert isinstance(
+            ScenarioSpec(scheduler="random").make_scheduler(1), RandomScheduler
+        )
+        delay = ScenarioSpec(scheduler="delay").make_scheduler(7)
+        assert isinstance(delay, DelayInjectingScheduler)
+        assert delay.seed == 7
+
+
+class TestBuild:
+    def test_run_seed_varies_the_workload(self):
+        spec = ScenarioSpec(updates=6)
+        assert spec.workload(0).seed != spec.workload(1).seed
+
+    def test_pinned_workload_ignores_run_seed(self):
+        spec = ScenarioSpec(updates=6, vary_workload=False, workload_seed=11)
+        assert spec.workload(0).seed == spec.workload(1).seed == 11
+
+    def test_fault_seed_derived_per_run(self):
+        spec = ScenarioSpec(fault_plan=FaultPlan(seed=2, drop_rate=0.1))
+        plans = {spec.fault_plan_for(s).seed for s in range(4)}
+        assert len(plans) == 4
+        assert spec.fault_plan_for(3).seed == spec.fault_plan_for(3).seed
+
+    def test_build_runs_to_completion(self):
+        spec = ScenarioSpec(updates=6, scheduler="fifo")
+        system = spec.build(run_seed=0)
+        system.run()
+        assert len(system.history) >= 1
+        assert system.check_mvc("complete").ok
+
+    def test_same_run_seed_same_run(self):
+        spec = ScenarioSpec(updates=8, scheduler="delay")
+        one = spec.build(run_seed=5)
+        one.run()
+        two = spec.build(run_seed=5)
+        two.run()
+        assert one.sim.trace.digest() == two.sim.trace.digest()

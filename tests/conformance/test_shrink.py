@@ -1,0 +1,56 @@
+"""ddmin: correctness, minimality, and budget behaviour."""
+
+from repro.conformance.shrink import ddmin
+
+
+class TestDdmin:
+    def test_single_culprit(self):
+        minimal, _runs = ddmin(list(range(20)), lambda s: 13 in s)
+        assert minimal == [13]
+
+    def test_pair_of_culprits(self):
+        minimal, _runs = ddmin(list(range(16)), lambda s: 3 in s and 12 in s)
+        assert sorted(minimal) == [3, 12]
+
+    def test_empty_failure_shortcut(self):
+        calls = []
+
+        def always(subset):
+            calls.append(list(subset))
+            return True
+
+        minimal, runs = ddmin(list(range(50)), always)
+        assert minimal == []
+        assert runs == 1  # tested [] first, done
+
+    def test_empty_input(self):
+        minimal, runs = ddmin([], lambda s: True)
+        assert minimal == []
+
+    def test_whole_list_needed(self):
+        items = [1, 2, 3, 4]
+        minimal, _runs = ddmin(items, lambda s: len(s) == 4)
+        assert minimal == items
+
+    def test_result_is_one_minimal(self):
+        """Removing any single element of the result breaks the predicate."""
+        predicate = lambda s: {2, 7, 11} <= set(s)  # noqa: E731
+        minimal, _runs = ddmin(list(range(14)), predicate)
+        assert predicate(minimal)
+        for i in range(len(minimal)):
+            assert not predicate(minimal[:i] + minimal[i + 1 :])
+
+    def test_budget_respected(self):
+        counter = {"n": 0}
+
+        def costly(subset):
+            counter["n"] += 1
+            return {2, 7, 11, 13} <= set(subset)
+
+        _minimal, runs = ddmin(list(range(200)), costly, max_runs=10)
+        assert runs <= 10
+        assert counter["n"] == runs
+
+    def test_order_preserved(self):
+        minimal, _runs = ddmin([5, 9, 1, 7], lambda s: 9 in s and 7 in s)
+        assert minimal == [9, 7]

@@ -30,6 +30,7 @@ class TestPublicSurface:
         assert undocumented == []
 
     def test_subpackages_documented(self):
+        import repro.conformance
         import repro.consistency
         import repro.integrator
         import repro.merge
@@ -53,5 +54,6 @@ class TestPublicSurface:
             repro.consistency,
             repro.system,
             repro.workloads,
+            repro.conformance,
         ):
             assert (module.__doc__ or "").strip(), module.__name__
