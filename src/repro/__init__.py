@@ -60,6 +60,7 @@ from repro.relational import (
     Delta,
     MaintenancePlan,
     MaterializedView,
+    PlanLibrary,
     Relation,
     Row,
     Schema,
@@ -82,9 +83,11 @@ from repro.sources import (
 )
 from repro.merge import (
     PaintingAlgorithm,
+    ShardRouter,
     SimplePaintingAlgorithm,
     ViewUpdateTable,
     partition_views,
+    shard_view_groups,
 )
 from repro.consistency import (
     check_mvc_complete,
@@ -160,6 +163,7 @@ __all__ = [
     "Aggregate",
     "AggregateSpec",
     "MaintenancePlan",
+    "PlanLibrary",
     "MaterializedView",
     "evaluate",
     "propagate_delta",
@@ -181,7 +185,9 @@ __all__ = [
     "ViewUpdateTable",
     "SimplePaintingAlgorithm",
     "PaintingAlgorithm",
+    "ShardRouter",
     "partition_views",
+    "shard_view_groups",
     # consistency
     "replay_source_states",
     "check_mvc_complete",

@@ -102,6 +102,46 @@ GUARANTEE_MATRIX: tuple[MatrixRow, ...] = (
         ),
         "holds",
     ),
+    # Sharded-merge rows (§6.1 at merge_groups > 1, hash router): MVC
+    # must hold per shard and fleet-wide when view groups are spread over
+    # several merge processes, under adversarial scheduling — and, in the
+    # fault row, under message drops and duplicates too.
+    MatrixRow(
+        "sharded-spa-holds-per-shard",
+        _row_spec(
+            schema="paper-ex3",
+            manager_kind="complete",
+            merge_algorithm="spa",
+            merge_groups=2,
+            merge_router="hash",
+        ),
+        "holds",
+    ),
+    MatrixRow(
+        "sharded-mixed-weakest-holds",
+        _row_spec(
+            schema="paper-ex3",
+            manager_kinds={"V1": "complete", "V2": "strong", "V3": "convergent"},
+            merge_algorithm="auto",
+            merge_groups=2,
+            merge_router="hash",
+        ),
+        "holds",
+    ),
+    MatrixRow(
+        "sharded-faulty-reliable-holds",
+        _row_spec(
+            schema="paper-ex3",
+            manager_kind="complete",
+            merge_algorithm="spa",
+            merge_groups=2,
+            merge_router="hash",
+            fault_plan=FaultPlan(
+                seed=3, drop_rate=0.05, duplicate_rate=0.05, reliable=True
+            ),
+        ),
+        "holds",
+    ),
     MatrixRow(
         "naive-fleet-breaks-strong",
         _row_spec(manager_kind="naive"),

@@ -165,6 +165,38 @@ def check_run(system: WarehouseSystem) -> list[Violation]:
                 Violation(f"pair:{first},{second}", level, report.reason)
             )
 
+    # 2b. per shard: each merge process's views jointly at the shard's
+    # weakest promised level.  §6.1 argues shards never interact; this is
+    # the executable form of that argument — a violation scoped
+    # ``shard:mergeN`` means the partitioning itself leaked consistency.
+    if len(system.merge_processes) > 1:
+        shards: dict[str, list[str]] = {}
+        for view, merge_name in system.view_to_merge.items():
+            shards.setdefault(merge_name, []).append(view)
+        for merge_name, shard_views in sorted(shards.items()):
+            level: str | None = "complete"
+            for view in shard_views:
+                level = _weaker(level, view_levels[view])
+            if level is None or len(shard_views) < 2:
+                continue  # no joint promise, or covered by the per-view check
+            shard_defs = [definitions[v] for v in sorted(shard_views)]
+            if level == "convergent":
+                report = check_mvc_convergent(
+                    system.history, source_states, shard_defs
+                )
+            else:
+                report = check_mvc_ordered(
+                    system.history,
+                    system.initial_state,
+                    system.integrator.numbered,
+                    shard_defs,
+                    level,
+                )
+            if not report:
+                violations.append(
+                    Violation(f"shard:{merge_name}", level, report.reason)
+                )
+
     # 3. fleet-wide at the weakest promised level.
     fleet_level = fleet_expected_level(system)
     if fleet_level is not None:

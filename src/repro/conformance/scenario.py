@@ -136,6 +136,7 @@ class ScenarioSpec:
     manager_mode: str = "cached"
     merge_algorithm: str = "auto"
     merge_groups: int = 1
+    merge_router: str = "coalesce"
     submission_policy: str = "dependency-sequenced"
     block_size: int = 4
     refresh_period: float = 15.0
@@ -223,6 +224,7 @@ class ScenarioSpec:
             manager_mode=self.manager_mode,
             merge_algorithm=self.merge_algorithm,
             merge_groups=self.merge_groups,
+            merge_router=self.merge_router,
             submission_policy=self.submission_policy,
             block_size=self.block_size,
             refresh_period=self.refresh_period,
@@ -268,6 +270,7 @@ class ScenarioSpec:
             "manager_mode": self.manager_mode,
             "merge_algorithm": self.merge_algorithm,
             "merge_groups": self.merge_groups,
+            "merge_router": self.merge_router,
             "submission_policy": self.submission_policy,
             "block_size": self.block_size,
             "refresh_period": self.refresh_period,
@@ -313,6 +316,11 @@ class ScenarioSpec:
             f"schema={self.schema}",
             f"fleet={fleet}",
             f"merge={self.merge_algorithm}",
+            *(
+                [f"shards={self.merge_groups}({self.merge_router})"]
+                if self.merge_groups > 1
+                else []
+            ),
             f"policy={self.submission_policy}",
             f"updates={self.updates}@{self.rate:g}",
             f"scheduler={self.scheduler}",

@@ -16,7 +16,9 @@ This package contains the paper's central contribution:
   sequential, dependency-sequenced, DBMS-dependency, batching (BWT), and
   the deliberately unsafe eager policy that exhibits the §4.3 hazard.
 * :func:`partition_views` (§6.1) — splitting the merge work across several
-  merge processes along shared-base-relation boundaries.
+  merge processes along shared-base-relation boundaries, and
+  :class:`ShardRouter` / :func:`shard_view_groups` — consistent-hash,
+  cost-balanced placement of those groups on a fixed merge-shard fleet.
 
 The algorithms are plain (simulator-free) classes driven by
 ``receive_rel`` / ``receive_action_list`` events; :class:`MergeProcess`
@@ -39,7 +41,12 @@ from repro.merge.submission import (
     SubmissionPolicy,
 )
 from repro.merge.process import MergeProcess
-from repro.merge.distributed import partition_views
+from repro.merge.distributed import (
+    estimate_plan_cost,
+    partition_views,
+    view_to_group_map,
+)
+from repro.merge.sharding import ShardAssignment, ShardRouter, shard_view_groups
 
 __all__ = [
     "Color",
@@ -60,5 +67,10 @@ __all__ = [
     "DbmsDependencyPolicy",
     "BatchingPolicy",
     "MergeProcess",
+    "ShardAssignment",
+    "ShardRouter",
+    "estimate_plan_cost",
     "partition_views",
+    "shard_view_groups",
+    "view_to_group_map",
 ]

@@ -37,7 +37,7 @@ from repro.relational.delta import Delta, propagate_delta
 from repro.relational.database import Database, VersionedDatabase
 from repro.relational.indexes import HashIndex
 from repro.relational.parser import parse_view
-from repro.relational.plan import MaintenancePlan, PlanUnsupported
+from repro.relational.plan import MaintenancePlan, PlanLibrary, PlanUnsupported
 from repro.relational.render import to_sql
 from repro.relational.maintain import MaterializedView
 
@@ -66,6 +66,7 @@ __all__ = [
     "to_sql",
     "HashIndex",
     "MaintenancePlan",
+    "PlanLibrary",
     "PlanUnsupported",
     "MaterializedView",
     "evaluate",

@@ -39,6 +39,21 @@ untouched; ``advance`` consumes the deltas staged by the most recent
 ``propagate``.  Expressions containing node types the compiler does not
 know raise :class:`PlanUnsupported` — callers fall back to the equivalent
 unindexed ``propagate_delta``.
+
+**Multi-query optimization** (:class:`PlanLibrary`): views that live in
+the same merge shard usually share structure — the same join, the same
+selected prefix — and compiling each plan in isolation repeats that work
+per view per update.  A library compiles plans through a common-
+subexpression cache, so equal subexpressions (same expression, same
+probe role) become the *same* node object across plans: one delta probe
+feeds every view that reads it.  Per-batch node results are memoized in
+the shared staging dict and shared stateful nodes advance exactly once
+(Mistry/Roy/Ramamritham/Sudarshan, "Materialized View Selection and
+Maintenance Using Multi-Query Optimization", PODS/ICDE lineage — see
+PAPERS.md).  Library-compiled plans must be driven through
+:meth:`PlanLibrary.propagate_all` / :meth:`PlanLibrary.advance_all`; the
+library's :meth:`~PlanLibrary.report` gives the compile-time shared-node
+counts.
 """
 
 from __future__ import annotations
@@ -78,18 +93,20 @@ class _BaseNode:
     leave a stale probe structure behind.
     """
 
-    __slots__ = ("name", "relation", "probe_key")
+    __slots__ = ("name", "relation", "probe_key", "probes")
 
     def __init__(self, name: str, relation: Relation, probe_key=None) -> None:
         self.name = name
         self.relation = relation
         self.probe_key = probe_key
+        self.probes = 0
 
     def delta(self, deltas: Mapping[str, Delta], staged: dict) -> Mapping[Row, int]:
         delta = deltas.get(self.name)
         return delta.counts() if delta else _EMPTY
 
     def probe(self, key: tuple) -> Mapping[Row, int]:
+        self.probes += 1
         return self.relation.index_on(self.probe_key).bucket(key)
 
     def advance(self, staged: dict) -> None:
@@ -111,10 +128,15 @@ class _SelectNode:
         self.child = child
 
     def delta(self, deltas, staged) -> Mapping[Row, int]:
+        memo = ("delta", id(self))
+        if memo in staged:
+            return staged[memo]
         child = self.child.delta(deltas, staged)
-        if not child:
-            return _EMPTY
-        return {r: c for r, c in child.items() if self.predicate.evaluate(r)}
+        out: Mapping[Row, int] = _EMPTY
+        if child:
+            out = {r: c for r, c in child.items() if self.predicate.evaluate(r)}
+        staged[memo] = out
+        return out
 
     def advance(self, staged) -> None:
         self.child.advance(staged)
@@ -134,13 +156,18 @@ class _ProjectNode:
         self.child = child
 
     def delta(self, deltas, staged) -> Mapping[Row, int]:
+        memo = ("delta", id(self))
+        if memo in staged:
+            return staged[memo]
         child = self.child.delta(deltas, staged)
-        if not child:
-            return _EMPTY
-        out: dict[Row, int] = defaultdict(int)
-        for row, count in child.items():
-            out[row.project(self.names)] += count
-        return {r: c for r, c in out.items() if c}
+        result: Mapping[Row, int] = _EMPTY
+        if child:
+            out: dict[Row, int] = defaultdict(int)
+            for row, count in child.items():
+                out[row.project(self.names)] += count
+            result = {r: c for r, c in out.items() if c}
+        staged[memo] = result
+        return result
 
     def advance(self, staged) -> None:
         self.child.advance(staged)
@@ -161,26 +188,33 @@ class _MatInput:
     hash index on the join attributes is what ``probe`` reads.
     """
 
-    __slots__ = ("expr", "node", "rel", "probe_key", "_db")
+    __slots__ = ("expr", "node", "rel", "probe_key", "probes", "_db")
 
     def __init__(self, expr: Expression, node, db, probe_key) -> None:
         self.expr = expr
         self.node = node
         self._db = db
         self.probe_key = probe_key
+        self.probes = 0
         self.rel = Relation.from_counts(_eval_counts(expr, db))
 
     def delta(self, deltas, staged) -> Mapping[Row, int]:
+        if id(self) in staged:
+            return staged[id(self)]
         counts = self.node.delta(deltas, staged)
         staged[id(self)] = counts
         return counts
 
     def probe(self, key: tuple) -> Mapping[Row, int]:
+        self.probes += 1
         return self.rel.index_on(self.probe_key).bucket(key)
 
     def advance(self, staged) -> None:
         self.node.advance(staged)
-        counts = staged.get(id(self))
+        # ``pop``: when plans share this node (PlanLibrary), the first
+        # owner's advance consumes the staged delta and later owners'
+        # advances are no-ops — never a double application.
+        counts = staged.pop(id(self), None)
         if counts:
             # Delta.apply_to validates deletions — any underflow here means
             # the base data was mutated behind the plan's back.
@@ -212,9 +246,13 @@ class _JoinNode:
         self.on = on
 
     def delta(self, deltas, staged) -> Mapping[Row, int]:
+        memo = ("delta", id(self))
+        if memo in staged:
+            return staged[memo]
         d_left = self.left.delta(deltas, staged)
         d_right = self.right.delta(deltas, staged)
         if not d_left and not d_right:
+            staged[memo] = _EMPTY
             return _EMPTY
         on = self.on
         out: dict[Row, int] = defaultdict(int)
@@ -231,7 +269,9 @@ class _JoinNode:
         if d_left and d_right:
             for row, count in join_counts(d_left, d_right, on).items():
                 out[row] += count
-        return {r: c for r, c in out.items() if c}
+        result = {r: c for r, c in out.items() if c}
+        staged[memo] = result
+        return result
 
     def advance(self, staged) -> None:
         self.left.advance(staged)
@@ -287,8 +327,12 @@ class _AggregateNode:
         return Row(values)
 
     def delta(self, deltas, staged) -> Mapping[Row, int]:
+        memo = ("delta", id(self))
+        if memo in staged:
+            return staged[memo]
         d_child = self.child.delta(deltas, staged)
         if not d_child:
+            staged[memo] = _EMPTY
             return _EMPTY
         contributions: dict[tuple, list] = {}
         self._accumulate(contributions, d_child)
@@ -305,11 +349,14 @@ class _AggregateNode:
                 out[self._row_of(key, new_state)] += 1
             new_states[key] = new_state
         staged[id(self)] = new_states
-        return {r: c for r, c in out.items() if c}
+        result = {r: c for r, c in out.items() if c}
+        staged[memo] = result
+        return result
 
     def advance(self, staged) -> None:
         self.child.advance(staged)
-        for key, state in staged.get(id(self), {}).items():
+        # ``pop`` for the same shared-node reason as _MatInput.advance.
+        for key, state in staged.pop(id(self), {}).items():
             if state[0] != 0:
                 self._groups[key] = state
             else:
@@ -339,9 +386,18 @@ class MaintenancePlan:
     :meth:`rebuild`.
     """
 
-    def __init__(self, expression: Expression, database) -> None:
+    def __init__(
+        self,
+        expression: Expression,
+        database,
+        library: "PlanLibrary | None" = None,
+    ) -> None:
         self.expression = expression
         self._db = database
+        self._library = library
+        #: every node this plan reads, interned or private (may contain
+        #: duplicates when a subexpression occurs twice in the tree).
+        self._nodes: list = []
         self._schemas = dict(database.schemas)
         self.schema = expression.infer_schema(self._schemas)
         self._root = self._compile(expression)
@@ -349,7 +405,24 @@ class MaintenancePlan:
         self.propagations = 0
 
     # -- compilation -------------------------------------------------------
+    def _intern(self, key: tuple, build):
+        """One node per distinct (expression, probe role) across the library.
+
+        Without a library every plan builds private nodes; with one,
+        equal keys resolve to the same object so plans share delta
+        evaluation, probes and auxiliary state.
+        """
+        if self._library is None:
+            node = build()
+        else:
+            node = self._library._intern(key, build)
+        self._nodes.append(node)
+        return node
+
     def _compile(self, expr: Expression):
+        return self._intern(("node", expr), lambda: self._build(expr))
+
+    def _build(self, expr: Expression):
         if isinstance(expr, BaseRelation):
             return _BaseNode(expr.name, self._db.relation(expr.name))
         if isinstance(expr, Select):
@@ -372,8 +445,16 @@ class MaintenancePlan:
     def _compile_input(self, expr: Expression, on: tuple[str, ...]):
         """Compile a join operand: indexed base probe or aux materialization."""
         if isinstance(expr, BaseRelation):
-            return _BaseNode(expr.name, self._db.relation(expr.name), probe_key=on)
-        return _MatInput(expr, self._compile(expr), self._db, on)
+            return self._intern(
+                ("input", expr, on),
+                lambda: _BaseNode(
+                    expr.name, self._db.relation(expr.name), probe_key=on
+                ),
+            )
+        return self._intern(
+            ("input", expr, on),
+            lambda: _MatInput(expr, self._compile(expr), self._db, on),
+        )
 
     # -- maintenance -------------------------------------------------------
     def propagate(self, base_deltas: Mapping[str, Delta]) -> Delta:
@@ -408,6 +489,131 @@ class MaintenancePlan:
         """A textual rendering of the compiled plan tree."""
         return "\n".join(self._root.describe(0))
 
+    def node_count(self) -> int:
+        """Distinct node objects this plan reads (shared ones count once)."""
+        return len({id(node) for node in self._nodes})
+
+    def probe_count(self) -> int:
+        """Total index probes issued by this plan's nodes so far.
+
+        Shared nodes report their library-wide probe totals — by design:
+        under MQO one probe serves every plan reading the node.
+        """
+        seen: dict[int, int] = {}
+        for node in self._nodes:
+            seen[id(node)] = getattr(node, "probes", 0)
+        return sum(seen.values())
+
     def __repr__(self) -> str:
         return (f"MaintenancePlan({self.expression}, "
                 f"propagations={self.propagations})")
+
+
+class PlanLibrary:
+    """Multi-query optimization across the plans of one merge shard.
+
+    Compiling through a library interns every (subexpression, probe role)
+    once, so the compiled :class:`MaintenancePlan`s of same-shard views
+    literally share node objects: the join both views read is evaluated
+    once per batch, its auxiliary materialization is maintained once, and
+    one index probe feeds every reader.
+
+    The library owns the propagation round:
+
+    * :meth:`propagate_all` runs every plan against one shared staging
+      dict — per-batch node memoization means each shared node computes
+      its delta exactly once per round;
+    * :meth:`advance_all` advances every plan; stateful shared nodes
+      (aux materializations, aggregate group states) consume their staged
+      entry on first advance and no-op after, so shared state moves
+      forward exactly once per batch.
+
+    Do **not** drive a library-compiled plan's ``propagate``/``advance``
+    individually against different batches: shared stateful nodes can
+    only advance in lock-step.  (One batch, many views — that is the
+    point of sharing.)
+    """
+
+    def __init__(self, database) -> None:
+        self._db = database
+        self._interned: dict[tuple, object] = {}
+        self._uses: dict[tuple, int] = {}
+        self.plans: dict[str, MaintenancePlan] = {}
+
+    # -- compilation -------------------------------------------------------
+    def _intern(self, key: tuple, build):
+        node = self._interned.get(key)
+        if node is None:
+            node = build()
+            self._interned[key] = node
+            self._uses[key] = 1
+        else:
+            self._uses[key] += 1
+        return node
+
+    def compile(self, name: str, expression: Expression) -> MaintenancePlan:
+        """Compile ``expression`` as view ``name``, sharing where possible."""
+        if name in self.plans:
+            raise ExpressionError(f"plan {name!r} already in the library")
+        plan = MaintenancePlan(expression, self._db, library=self)
+        self.plans[name] = plan
+        return plan
+
+    # -- maintenance -------------------------------------------------------
+    def propagate_all(self, base_deltas: Mapping[str, Delta]) -> dict[str, Delta]:
+        """Every view's delta for one batch, shared work computed once."""
+        staged: dict = {}
+        out: dict[str, Delta] = {}
+        for name, plan in self.plans.items():
+            plan._staged = staged
+            out[name] = Delta(plan._root.delta(base_deltas, staged))
+            plan.propagations += 1
+        return out
+
+    def advance_all(self) -> None:
+        """Advance every plan's auxiliary state exactly once for the batch."""
+        for plan in self.plans.values():
+            plan.advance()
+
+    # -- inspection ---------------------------------------------------------
+    def probe_count(self) -> int:
+        """Total index probes across all unique nodes in the library."""
+        return sum(
+            getattr(node, "probes", 0) for node in self._interned.values()
+        )
+
+    def report(self) -> dict:
+        """Compile-time sharing summary (the MQO report).
+
+        ``total_nodes`` counts node references across all plans (what N
+        independent compilations would have built); ``unique_nodes`` is
+        what the library actually holds; their difference is the work
+        sharing removed.  ``shared`` lists every subexpression with more
+        than one reader, heaviest first.
+        """
+        total = sum(len(plan._nodes) for plan in self.plans.values())
+        shared = [
+            {
+                "key": self._describe_key(key),
+                "readers": uses,
+            }
+            for key, uses in sorted(
+                self._uses.items(),
+                key=lambda item: (-item[1], self._describe_key(item[0])),
+            )
+            if uses > 1
+        ]
+        return {
+            "plans": len(self.plans),
+            "total_nodes": total,
+            "unique_nodes": len(self._interned),
+            "nodes_saved": total - len(self._interned),
+            "shared_subexpressions": len(shared),
+            "shared": shared,
+        }
+
+    @staticmethod
+    def _describe_key(key: tuple) -> str:
+        kind, expr = key[0], key[1]
+        suffix = f" probe={key[2]}" if kind == "input" else ""
+        return f"{expr}{suffix}"

@@ -39,6 +39,7 @@ from repro.integrator.relevance import RelevanceFilter
 from repro.merge.base import MergeAlgorithm
 from repro.merge.complete_n import CompleteNMerge
 from repro.merge.distributed import partition_views
+from repro.merge.sharding import shard_view_groups
 from repro.merge.pa import PaintingAlgorithm
 from repro.merge.passthrough import PassThroughMerge
 from repro.merge.process import MergeProcess
@@ -162,8 +163,13 @@ class WarehouseSystem:
         )
         self.service.seed(self._initial_state, schemas)
 
-        # Merge processes (possibly partitioned, §6.1).
-        groups = partition_views(self.definitions, max_groups=cfg.merge_groups)
+        # Merge processes (possibly partitioned, §6.1).  The hash router
+        # packs the finest partition onto the shard fleet by consistent
+        # hashing with cost-bounded loads; coalesce merges cheapest-first.
+        if cfg.merge_router == "hash" and cfg.merge_groups > 1:
+            groups = shard_view_groups(self.definitions, cfg.merge_groups)
+        else:
+            groups = partition_views(self.definitions, max_groups=cfg.merge_groups)
         self.merge_processes: list[MergeProcess] = []
         merge_groups: dict[str, tuple[str, ...]] = {}
         for index, group in enumerate(groups):
@@ -480,3 +486,34 @@ class WarehouseSystem:
 
     def metrics(self) -> RunMetrics:
         return collect_metrics(self)
+
+    def mqo_report(self) -> dict[str, dict]:
+        """Per-shard multi-query-optimization report (compile-time).
+
+        For each merge process, compiles the shard's view expressions
+        through one :class:`~repro.relational.plan.PlanLibrary` against a
+        throwaway copy of ``ss_0`` and returns the library's shared-node
+        report — how much delta-probe work same-shard views share.  Views
+        whose expressions the plan compiler cannot handle are listed
+        under ``"unsupported"`` and excluded from the counts.
+        """
+        from repro.relational.plan import PlanLibrary, PlanUnsupported
+
+        definitions = {d.name: d for d in self.definitions}
+        shards: dict[str, list[str]] = {}
+        for view, merge_name in sorted(self.view_to_merge.items()):
+            shards.setdefault(merge_name, []).append(view)
+        reports: dict[str, dict] = {}
+        for merge_name, views in sorted(shards.items()):
+            library = PlanLibrary(self._initial_state.snapshot())
+            unsupported: list[str] = []
+            for view in views:
+                try:
+                    library.compile(view, definitions[view].expression)
+                except PlanUnsupported:
+                    unsupported.append(view)
+            report = library.report()
+            report["views"] = views
+            report["unsupported"] = unsupported
+            reports[merge_name] = report
+        return reports

@@ -20,6 +20,7 @@ MANAGER_KINDS = (
     "naive",
 )
 MERGE_ALGORITHMS = ("auto", "spa", "pa", "passthrough", "complete-n")
+MERGE_ROUTERS = ("coalesce", "hash")
 SUBMISSION_POLICIES = (
     "eager",
     "sequential",
@@ -37,7 +38,12 @@ class SystemConfig:
     (mixed fleets, §6.3).  ``merge_algorithm="auto"`` applies the
     weakest-level rule.  ``merge_groups`` > 1 partitions the merge work
     (§6.1) into at most that many processes along shared-base-relation
-    boundaries.
+    boundaries; ``merge_router`` picks how the finest partition is packed
+    onto those processes — ``"coalesce"`` merges the cheapest groups
+    until the count fits (the historical behaviour), ``"hash"`` places
+    groups by consistent hashing with cost-bounded loads
+    (:mod:`repro.merge.sharding`), which stays stable under view-suite
+    and fleet churn.
     """
 
     # view managers
@@ -52,6 +58,7 @@ class SystemConfig:
     # merge process(es)
     merge_algorithm: str = "auto"
     merge_groups: int = 1
+    merge_router: str = "coalesce"
     submission_policy: str = "dependency-sequenced"
     submission_batch_size: int = 4  # for the batching policy
     merge_message_cost: float = 0.0
@@ -119,6 +126,10 @@ class SystemConfig:
             raise ReproError(
                 f"submission_policy {self.submission_policy!r} "
                 f"not in {SUBMISSION_POLICIES}"
+            )
+        if self.merge_router not in MERGE_ROUTERS:
+            raise ReproError(
+                f"merge_router {self.merge_router!r} not in {MERGE_ROUTERS}"
             )
         if self.merge_groups < 1:
             raise ReproError(f"merge_groups must be >= 1, got {self.merge_groups}")

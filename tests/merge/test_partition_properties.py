@@ -1,0 +1,127 @@
+"""Property tests for §6.1 partitioning, coalescing, and shard routing.
+
+The partition is the load-bearing safety argument of distributed merge:
+views in different groups must share no base relations (else the groups'
+warehouse transactions could interact and break MVC).  These properties
+pin it against a from-scratch BFS oracle, assert that coalescing and
+hash routing only ever *union* whole components, and that the builder's
+``view_to_merge`` map round-trips the router's placement.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.merge.distributed import partition_views, view_to_group_map
+from repro.merge.sharding import shard_view_groups
+from repro.relational.expressions import (
+    BaseRelation,
+    Join,
+    ViewDefinition,
+)
+
+
+@st.composite
+def view_sets(draw):
+    """Up to 12 views, each reading 1-3 of a small relation pool (small
+    pool => plenty of accidental sharing for the component oracle)."""
+    n_views = draw(st.integers(min_value=1, max_value=12))
+    pool = [f"rel{i}" for i in range(draw(st.integers(2, 6)))]
+    defs = []
+    for i in range(n_views):
+        rels = draw(
+            st.lists(
+                st.sampled_from(pool), min_size=1, max_size=3, unique=True
+            )
+        )
+        expr = BaseRelation(rels[0])
+        for rel in rels[1:]:
+            expr = Join(expr, BaseRelation(rel))
+        defs.append(ViewDefinition(f"V{i:02d}", expr))
+    return defs
+
+
+def bfs_components(defs):
+    """Oracle: connected components of the view/relation sharing graph,
+    computed by plain BFS with no union-find."""
+    by_rel: dict[str, list[str]] = {}
+    rels = {d.name: set(d.base_relations()) for d in defs}
+    for name, relations in rels.items():
+        for rel in relations:
+            by_rel.setdefault(rel, []).append(name)
+    seen: set[str] = set()
+    components = []
+    for d in defs:
+        if d.name in seen:
+            continue
+        frontier, component = [d.name], set()
+        while frontier:
+            view = frontier.pop()
+            if view in component:
+                continue
+            component.add(view)
+            for rel in rels[view]:
+                frontier.extend(
+                    v for v in by_rel[rel] if v not in component
+                )
+        seen |= component
+        components.append(tuple(sorted(component)))
+    return sorted(components, key=lambda c: c[0])
+
+
+@given(view_sets())
+@settings(max_examples=60, deadline=None)
+def test_partition_is_exactly_the_connected_components(defs):
+    assert partition_views(defs) == bfs_components(defs)
+
+
+@given(view_sets(), st.integers(min_value=1, max_value=5))
+@settings(max_examples=60, deadline=None)
+def test_coalescing_preserves_coverage_and_disjointness(defs, max_groups):
+    groups = partition_views(defs, max_groups=max_groups)
+    names = [v for g in groups for v in g]
+    # full coverage, no view duplicated, bound respected
+    assert sorted(names) == sorted(d.name for d in defs)
+    assert len(set(names)) == len(names)
+    assert len(groups) <= max(max_groups, 1)
+    # coalescing only unions components — never splits one
+    by_view = view_to_group_map(groups)
+    for component in partition_views(defs):
+        assert len({by_view[v] for v in component}) == 1
+
+
+@given(view_sets(), st.integers(min_value=1, max_value=5))
+@settings(max_examples=60, deadline=None)
+def test_shard_routing_preserves_coverage_and_components(defs, shards):
+    groups = shard_view_groups(defs, shards=shards)
+    names = [v for g in groups for v in g]
+    assert sorted(names) == sorted(d.name for d in defs)
+    assert len(set(names)) == len(names)
+    assert len(groups) <= shards
+    by_view = view_to_group_map(groups)
+    for component in partition_views(defs):
+        assert len({by_view[v] for v in component}) == 1
+
+
+@given(st.integers(min_value=1, max_value=4))
+@settings(max_examples=10, deadline=None)
+def test_routing_round_trips_through_builder(merge_groups):
+    """views sharing a router group share a merge process in the built
+    system, and cross-group views never do."""
+    from repro.system.builder import WarehouseSystem
+    from repro.system.config import SystemConfig
+    from repro.workloads.schemas import paper_views_example3, paper_world
+
+    system = WarehouseSystem(
+        paper_world(),
+        paper_views_example3(),
+        SystemConfig(merge_groups=merge_groups, merge_router="hash"),
+    )
+    by_view = view_to_group_map(
+        shard_view_groups(system.definitions, shards=merge_groups)
+    )
+    for first in by_view:
+        for second in by_view:
+            assert (
+                system.view_to_merge[first] == system.view_to_merge[second]
+            ) == (by_view[first] == by_view[second])
