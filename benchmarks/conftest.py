@@ -41,18 +41,30 @@ def bench_out(request):
     ``bench_out("b19", payload)`` writes ``BENCH_b19.json`` into the
     directory named by ``--bench-out`` and returns its path, or returns
     ``None`` (after checking the payload is serializable) when the option
-    is absent.  The format is documented in docs/performance.md; the
-    files are gitignored — CI uploads them as workflow artifacts so the
-    perf trajectory accumulates per commit.
+    is absent.  If the file already exists and holds a JSON object, the
+    payload is merged into it (new keys win) instead of clobbering it —
+    so several tests can contribute fields to one artifact, and a
+    multi-benchmark CI run re-running one test keeps the other entries.
+    The format is documented in docs/performance.md; the files are
+    gitignored — CI uploads them as workflow artifacts so the perf
+    trajectory accumulates per commit.
     """
 
     def _write(name: str, payload: dict) -> Path | None:
-        rendered = json.dumps(payload, indent=2, sort_keys=True)
+        json.dumps(payload)  # serializability check even when not writing
         out_dir = request.config.getoption("--bench-out")
         if out_dir is None:
             return None
         path = Path(out_dir) / f"BENCH_{name}.json"
-        path.write_text(rendered + "\n")
+        merged = payload
+        if path.exists():
+            try:
+                existing = json.loads(path.read_text())
+            except (json.JSONDecodeError, OSError):
+                existing = None
+            if isinstance(existing, dict):
+                merged = {**existing, **payload}
+        path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
         return path
 
     return _write

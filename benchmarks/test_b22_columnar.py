@@ -1,0 +1,507 @@
+"""B22 — Columnar engine: raw-batch ingest to view delta vs the row-dict path.
+
+The columnar core (see docs/engine.md) exists so a source batch that
+arrives as *raw value tuples* can flow to applied view deltas without
+ever materializing a ``Row``: ``MaintenancePlan.propagate_counts`` /
+``PlanLibrary.propagate_all_counts`` take ``{tuple: signed count}``
+batches, push them through source-generated kernels, and the resulting
+:class:`~repro.relational.columnar.ColumnarDelta` applies to a
+:class:`~repro.relational.columnar.ColumnarRelation` store in one
+vectorized call.  The pre-change path had to *lift* the same batch into
+``Row``/``Delta`` objects first and then interpret every operator
+per row — so the honest comparison, and the one measured here, is
+**ingest to applied view delta**: the rows arm pays the lift plus
+interpreted propagation, because that is exactly what the engine did
+before this change.
+
+Two arms, mirroring earlier benchmarks:
+
+* **micro** (B9-shaped): one operator per measurement — select, project,
+  join, select-project-join, group-by aggregate — timed per input delta
+  row, batch-propagated against 20k-row bases.
+* **end_to_end** (B1-shaped): the paper's Example 2 view suite
+  (V1 = R |><| S, V2 = S |><| T |><| Q, V3 = Q) maintained through a
+  :class:`~repro.relational.plan.PlanLibrary` over a mixed
+  insert/delete update stream, timing propagation + view-store
+  application + advance per batch.
+
+Timing is best-of-N full repeats (single runs on this workload swing
+~2x with machine noise) with a warmup propagation first, so one-time
+lazy index builds and kernel compilation are excluded — the same
+protocol B19 uses.  Re-run guards drive the B19 scaling workload and
+the B21 MQO workload through both engines and assert identical deltas
+and identical probe accounting, proving those benchmarks' results are
+engine-independent (no regression hiding in the refactor).
+
+Paper question: ROADMAP north star ("as fast as the hardware allows")
+— §7's performance study assumes maintenance keeps up with the source
+stream; this records how much headroom the columnar engine buys.
+Reads: seconds per input delta row (micro) and per batch (end-to-end);
+emits BENCH_b22.json via ``--bench-out``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.relational.algebra import evaluate
+from repro.relational.columnar import (
+    ColumnarRelation,
+    evaluate_columnar,
+    layout_of,
+    rows_to_counts,
+)
+from repro.relational.database import Database
+from repro.relational.delta import Delta, propagate_delta
+from repro.relational.expressions import (
+    Aggregate,
+    AggregateSpec,
+    BaseRelation,
+    Join,
+    Project,
+    Select,
+)
+from repro.relational.plan import MaintenancePlan, PlanLibrary
+from repro.relational.predicates import compare
+from repro.relational.rows import Row
+from repro.relational.schema import Schema
+from repro.workloads.schemas import paper_views_example2
+
+from benchmarks.conftest import fmt_table
+from benchmarks.test_b19_maintenance_scaling import (
+    EXPR as B19_EXPR,
+    make_db as b19_make_db,
+    update_stream as b19_update_stream,
+)
+from benchmarks.test_b21_sharded_merge import MQO_EXPRS, mqo_db, mqo_stream
+
+SPEEDUP_FLOOR = 10.0
+
+# -- micro arm (B9-shaped) --------------------------------------------------
+
+MICRO_BASE = 20_000
+MICRO_DOM = 2_000
+AGG_DOM = 500  # hot groups: most delta rows touch an existing group state
+MICRO_REPEATS = 5
+
+# (name, delta relation, expression, batch size, timed iterations).
+# Join batches are smaller because each delta row fans out ~10x.
+MICRO_OPS = (
+    ("select", "R",
+     Select(compare("B", "<", MICRO_DOM // 2), BaseRelation("R")), 5_000, 20),
+    ("project", "R", Project(("A",), BaseRelation("R")), 5_000, 20),
+    ("join", "R", Join(BaseRelation("R"), BaseRelation("S")), 500, 20),
+    ("spj", "R",
+     Project(("A", "C"),
+             Select(compare("C", "<", MICRO_DOM // 2),
+                    Join(BaseRelation("R"), BaseRelation("S")))), 500, 20),
+    ("aggregate", "G",
+     Aggregate(("B",),
+               (AggregateSpec("count", "cnt"), AggregateSpec("sum", "tot", "A")),
+               BaseRelation("G")), 5_000, 20),
+)
+
+MICRO_DOMAINS = {
+    "R": (MICRO_DOM, MICRO_DOM),  # (A, B)
+    "S": (MICRO_DOM, MICRO_DOM),  # (B, C)
+    "G": (MICRO_DOM, AGG_DOM),    # (A, B) — grouped on B
+}
+
+
+def micro_db() -> Database:
+    rng = random.Random(7)
+    db = Database()
+    for name, attrs in (("R", ("A", "B")), ("S", ("B", "C")), ("G", ("A", "B"))):
+        doms = MICRO_DOMAINS[name]
+        db.create_relation(
+            name,
+            Schema(list(attrs)),
+            [Row(dict(zip(layout_of(attrs), (rng.randrange(doms[0]),
+                                             rng.randrange(doms[1])))))
+             for _ in range(MICRO_BASE)],
+        )
+    return db
+
+
+def micro_batch(rel: str, size: int, seed: int) -> dict[tuple, int]:
+    """A mixed-sign raw tuple batch (70% inserts, 30% deletes).
+
+    Micro measurements propagate without advancing or applying, so
+    deletes need not be applicable — propagation is sign-symmetric.
+    """
+    rng = random.Random(seed)
+    doms = MICRO_DOMAINS[rel]
+    counts: dict[tuple, int] = {}
+    for _ in range(size):
+        t = (rng.randrange(doms[0]), rng.randrange(doms[1]))
+        counts[t] = counts.get(t, 0) + (1 if rng.random() >= 0.3 else -1)
+    return {t: c for t, c in counts.items() if c}
+
+
+def lift(layout: tuple[str, ...], batch: dict[tuple, int]) -> Delta:
+    """Raw batch -> facade Delta: the pre-change path's mandatory step."""
+    return Delta({Row(dict(zip(layout, t))): c for t, c in batch.items()})
+
+
+def time_micro_op(db, rel, expr, size, iters) -> tuple[float, float]:
+    """Best-of seconds per input delta row for each engine.
+
+    Both plans propagate the same raw batch repeatedly *without*
+    advancing, so every iteration runs against the identical pre-state.
+    The rows arm's timed region includes the Row/Delta lift: with raw
+    tuples at the door, lifting is part of that path's ingest cost.
+    """
+    layout = layout_of(db.schemas[rel].names)
+    batch = micro_batch(rel, size, seed=101)
+    plan_c = MaintenancePlan(expr, db, engine="columnar")
+    plan_r = MaintenancePlan(expr, db, engine="rows")
+    plan_c.propagate_counts({rel: batch})  # warmup: indexes + kernels
+    plan_r.propagate({rel: lift(layout, batch)})
+    n = len(batch)
+
+    best_c = best_r = float("inf")
+    for _ in range(MICRO_REPEATS):
+        start = time.perf_counter()
+        for _ in range(iters):
+            plan_c.propagate_counts({rel: batch})
+        best_c = min(best_c, (time.perf_counter() - start) / (iters * n))
+        start = time.perf_counter()
+        for _ in range(iters):
+            plan_r.propagate({rel: lift(layout, batch)})
+        best_r = min(best_r, (time.perf_counter() - start) / (iters * n))
+    return best_c, best_r
+
+
+# -- end-to-end arm (B1-shaped) ---------------------------------------------
+
+E2E_SCHEMAS = {"R": ("A", "B"), "S": ("B", "C"), "T": ("C", "D"), "Q": ("D", "E")}
+E2E_BASE = 8_000
+E2E_DOM = 2_500
+E2E_BATCHES = 16
+E2E_BATCH = 1_000
+E2E_REPEATS = 3
+
+
+def e2e_world(seed: int = 11) -> dict[str, dict[tuple, int]]:
+    rng = random.Random(seed)
+    return {
+        name: {t: 1 for t in ((rng.randrange(E2E_DOM), rng.randrange(E2E_DOM))
+                              for _ in range(E2E_BASE))}
+        for name in E2E_SCHEMAS
+    }
+
+
+def e2e_stream(world, seed: int = 13) -> list[tuple[str, dict[tuple, int]]]:
+    """Round-robin raw batches, ~70% inserts / 30% deletes.
+
+    An availability pool tracks each relation's evolving contents so a
+    delete is only emitted while copies remain — every batch is
+    applicable at its point in the stream.
+    """
+    rng = random.Random(seed)
+    names = list(E2E_SCHEMAS)
+    avail = {name: dict(world[name]) for name in names}
+    stream = []
+    for b in range(E2E_BATCHES):
+        name = names[b % len(names)]
+        batch: dict[tuple, int] = {}
+        pool = avail[name]
+        keys = list(pool)
+        for _ in range(E2E_BATCH):
+            if keys and rng.random() < 0.3:
+                t = rng.choice(keys)
+                if pool.get(t, 0) + batch.get(t, 0) > 0:
+                    batch[t] = batch.get(t, 0) - 1
+            else:
+                t = (rng.randrange(E2E_DOM), rng.randrange(E2E_DOM))
+                batch[t] = batch.get(t, 0) + 1
+        batch = {t: c for t, c in batch.items() if c}
+        for t, c in batch.items():
+            pool[t] = pool.get(t, 0) + c
+            if pool[t] <= 0:
+                del pool[t]
+        stream.append((name, batch))
+    return stream
+
+
+def e2e_db(world) -> Database:
+    db = Database()
+    for name, attrs in E2E_SCHEMAS.items():
+        layout = layout_of(attrs)
+        db.create_relation(
+            name,
+            Schema(list(attrs)),
+            [Row(dict(zip(layout, t)))
+             for t, c in world[name].items() for _ in range(c)],
+        )
+    return db
+
+
+def e2e_views() -> dict:
+    return {v.name: v.expression for v in paper_views_example2()}
+
+
+def run_e2e_columnar(world, stream) -> tuple[float, dict[str, dict[Row, int]]]:
+    """Timed per batch: propagate_all_counts + store application + advance.
+
+    Base-relation advancement (``db.apply_deltas``) is untimed — it is
+    identical work in both arms and not what this change targets.
+    """
+    db = e2e_db(world)
+    views = e2e_views()
+    lib = PlanLibrary(db, engine="columnar")
+    for name, expr in views.items():
+        lib.compile(name, expr)
+    stores = {}
+    for name, expr in views.items():
+        rel = evaluate_columnar(expr, db)
+        layout = layout_of(rel.schema.names)
+        stores[name] = ColumnarRelation(layout, rows_to_counts(layout, rel.counts_view()))
+    # warmup (never advanced, nothing applied): builds every lazy probe
+    # index and compiles every kernel outside the timed region
+    for name, attrs in E2E_SCHEMAS.items():
+        lib.propagate_all_counts({name: {(0,) * len(attrs): 1}})
+
+    timed = 0.0
+    for rel_name, batch in stream:
+        start = time.perf_counter()
+        view_deltas = lib.propagate_all_counts({rel_name: batch})
+        for vname, d in view_deltas.items():
+            d.apply_to(stores[vname])
+        lib.advance_all()
+        timed += time.perf_counter() - start
+        layout = layout_of(E2E_SCHEMAS[rel_name])
+        db.apply_deltas({rel_name: lift(layout, batch)})
+    return timed, {name: store.to_rows() for name, store in stores.items()}
+
+
+def run_e2e_rows(world, stream) -> tuple[float, dict[str, dict[Row, int]]]:
+    """The pre-change path: lift raw batches, propagate rows, apply rows."""
+    db = e2e_db(world)
+    views = e2e_views()
+    lib = PlanLibrary(db, engine="rows")
+    for name, expr in views.items():
+        lib.compile(name, expr)
+    mats = {name: evaluate(expr, db) for name, expr in views.items()}
+    for name, attrs in E2E_SCHEMAS.items():
+        lib.propagate_all({name: lift(layout_of(attrs), {(0,) * len(attrs): 1})})
+
+    timed = 0.0
+    for rel_name, batch in stream:
+        layout = layout_of(E2E_SCHEMAS[rel_name])
+        start = time.perf_counter()
+        view_deltas = lib.propagate_all({rel_name: lift(layout, batch)})
+        for vname, d in view_deltas.items():
+            d.apply_to(mats[vname])
+        lib.advance_all()
+        timed += time.perf_counter() - start
+        db.apply_deltas({rel_name: lift(layout, batch)})
+    return timed, {name: dict(mat.counts_view()) for name, mat in mats.items()}
+
+
+# -- guards -----------------------------------------------------------------
+
+
+def test_b22_engine_equivalence_guard():
+    """Both engines and the legacy rules agree at every step, and the
+    maintained view stores end bag-for-bag identical across arms."""
+    rng = random.Random(5)
+    world = {
+        name: {(rng.randrange(60), rng.randrange(60)): 1 for _ in range(300)}
+        for name in E2E_SCHEMAS
+    }
+    db = e2e_db(world)
+    views = e2e_views()
+    lib_c = PlanLibrary(db, engine="columnar")
+    lib_r = PlanLibrary(db, engine="rows")
+    for name, expr in views.items():
+        lib_c.compile(name, expr)
+        lib_r.compile(name, expr)
+
+    stream = [
+        (name, batch)
+        for name, batch in _small_stream(world, batches=8, batch=80, dom=60)
+    ]
+    for rel_name, batch in stream:
+        layout = layout_of(E2E_SCHEMAS[rel_name])
+        lifted = lift(layout, batch)
+        out_c = lib_c.propagate_all_counts({rel_name: batch})
+        out_r = lib_r.propagate_all({rel_name: lifted})
+        for vname, expr in views.items():
+            legacy = propagate_delta(expr, db, {rel_name: lifted})
+            assert out_c[vname].to_delta() == out_r[vname] == legacy
+        db.apply_deltas({rel_name: lifted})
+        lib_c.advance_all()
+        lib_r.advance_all()
+
+
+def _small_stream(world, batches, batch, dom):
+    rng = random.Random(23)
+    names = list(E2E_SCHEMAS)
+    avail = {name: dict(world[name]) for name in names}
+    out = []
+    for b in range(batches):
+        name = names[b % len(names)]
+        pool = avail[name]
+        counts: dict[tuple, int] = {}
+        keys = list(pool)
+        for _ in range(batch):
+            if keys and rng.random() < 0.3:
+                t = rng.choice(keys)
+                if pool.get(t, 0) + counts.get(t, 0) > 0:
+                    counts[t] = counts.get(t, 0) - 1
+            else:
+                t = (rng.randrange(dom), rng.randrange(dom))
+                counts[t] = counts.get(t, 0) + 1
+        counts = {t: c for t, c in counts.items() if c}
+        for t, c in counts.items():
+            pool[t] = pool.get(t, 0) + c
+            if pool[t] <= 0:
+                del pool[t]
+        out.append((name, counts))
+    return out
+
+
+def test_b22_b19_rerun_guard():
+    """B19's scaling workload through both engines: identical deltas,
+    identical probe accounting — the refactor didn't change what B19
+    measures."""
+    db = b19_make_db(500)
+    plan_c = MaintenancePlan(B19_EXPR, db, engine="columnar")
+    plan_r = MaintenancePlan(B19_EXPR, db, engine="rows")
+    for deltas in b19_update_stream():
+        legacy = propagate_delta(B19_EXPR, db, deltas)
+        assert plan_c.propagate(deltas) == legacy
+        assert plan_r.propagate(deltas) == legacy
+        db.apply_deltas(deltas)
+        plan_c.advance()
+        plan_r.advance()
+    assert plan_c.probe_count() == plan_r.probe_count() > 0
+
+
+def test_b22_b21_rerun_guard():
+    """B21's MQO workload through two libraries: per-view deltas and
+    total probe counts match, so B21's probe-reduction result is
+    engine-independent."""
+    db_c, db_r = mqo_db(), mqo_db()
+    lib_c = PlanLibrary(db_c, engine="columnar")
+    lib_r = PlanLibrary(db_r, engine="rows")
+    for name, expr in MQO_EXPRS.items():
+        lib_c.compile(name, expr)
+        lib_r.compile(name, expr)
+    for deltas in mqo_stream():
+        out_c = lib_c.propagate_all(deltas)
+        out_r = lib_r.propagate_all(deltas)
+        assert out_c == out_r
+        db_c.apply_deltas(deltas)
+        db_r.apply_deltas(deltas)
+        lib_c.advance_all()
+        lib_r.advance_all()
+    assert lib_c.probe_count() == lib_r.probe_count() > 0
+
+
+# -- benchmarks -------------------------------------------------------------
+
+
+def test_b22_micro(benchmark, report, bench_out):
+    def experiment():
+        db = micro_db()
+        return {
+            name: time_micro_op(db, rel, expr, size, iters)
+            for name, rel, expr, size, iters in MICRO_OPS
+        }
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    speedups = {name: rows / col for name, (col, rows) in results.items()}
+
+    report("B22 micro — per-operator raw-batch propagation, per input delta row:")
+    report(fmt_table(
+        ["operator", "columnar (us/row)", "rows (us/row)", "speedup"],
+        [[name, f"{col * 1e6:.3f}", f"{rows * 1e6:.3f}",
+          f"{speedups[name]:.1f}x"]
+         for name, (col, rows) in results.items()],
+    ))
+    report("")
+    report(f"Shape: every operator clears {SPEEDUP_FLOOR:.0f}x — compiled "
+           f"kernels on raw tuples vs Row lift + interpreted evaluation.")
+
+    artifact = bench_out("b22", {
+        "benchmark": "b22_columnar",
+        "question": "how much faster is raw-batch ingest to view delta on "
+                    "the columnar engine than the row-dict path?",
+        "micro": {
+            "units": "seconds_per_input_row",
+            "base_rows": MICRO_BASE,
+            "repeats": MICRO_REPEATS,
+            "arms": {
+                name: {"columnar": col, "rows": rows,
+                       "speedup": round(speedups[name], 2)}
+                for name, (col, rows) in results.items()
+            },
+        },
+    })
+    if artifact is not None:
+        report(f"wrote {artifact}")
+
+    for name, speedup in speedups.items():
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"columnar {name} is only {speedup:.1f}x the row-dict path "
+            f"(floor {SPEEDUP_FLOOR:.0f}x) — a kernel lost its edge"
+        )
+
+
+def test_b22_end_to_end(benchmark, report, bench_out):
+    def experiment():
+        world = e2e_world()
+        stream = e2e_stream(world)
+        best_c = best_r = float("inf")
+        contents_c = contents_r = None
+        for _ in range(E2E_REPEATS):
+            t_c, contents_c = run_e2e_columnar(world, stream)
+            t_r, contents_r = run_e2e_rows(world, stream)
+            best_c, best_r = min(best_c, t_c), min(best_r, t_r)
+        return best_c, best_r, contents_c, contents_r
+
+    best_c, best_r, contents_c, contents_r = benchmark.pedantic(
+        experiment, rounds=1, iterations=1
+    )
+    assert contents_c == contents_r  # both arms maintained identical views
+    speedup = best_r / best_c
+    per_batch_c = best_c / E2E_BATCHES
+    per_batch_r = best_r / E2E_BATCHES
+
+    report("B22 end-to-end — Example 2 view suite over a mixed update stream:")
+    report(fmt_table(
+        ["arm", "total (ms)", "per batch (ms)"],
+        [
+            ["rows (lift + interpret)", f"{best_r * 1e3:.1f}",
+             f"{per_batch_r * 1e3:.2f}"],
+            ["columnar (raw batch)", f"{best_c * 1e3:.1f}",
+             f"{per_batch_c * 1e3:.2f}"],
+        ],
+    ))
+    report("")
+    report(f"Shape: ingest-to-applied-view-delta is {speedup:.1f}x faster "
+           f"end-to-end (best of {E2E_REPEATS}, {E2E_BATCHES} batches of "
+           f"{E2E_BATCH} rows, views V1/V2/V3).")
+
+    artifact = bench_out("b22", {
+        "end_to_end": {
+            "units": "seconds_total_maintenance",
+            "base_rows": E2E_BASE,
+            "batches": E2E_BATCHES,
+            "batch_rows": E2E_BATCH,
+            "repeats": E2E_REPEATS,
+            "views": list(e2e_views()),
+            "arms": {"columnar": best_c, "rows": best_r},
+            "speedup": round(speedup, 2),
+        },
+    })
+    if artifact is not None:
+        report(f"wrote {artifact}")
+
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"end-to-end columnar maintenance is only {speedup:.1f}x the "
+        f"row-dict path (floor {SPEEDUP_FLOOR:.0f}x)"
+    )

@@ -7,11 +7,23 @@ propagation, versioned databases, and a small view-definition parser.
 
 The engine is deliberately self-contained — the paper's algorithms are
 data-model independent, but its examples and our workloads are relational.
+
+Storage is two-layered: the public row-dict facade (``Row``/``Relation``/
+``Delta``) and the columnar core underneath it
+(:mod:`repro.relational.columnar` — position-keyed tuple bags with
+compiled batch kernels), which the maintenance plans run on by default.
+``docs/engine.md`` documents the layout and the facade contract.
 """
 
 from repro.relational.schema import Attribute, AttrType, Schema
 from repro.relational.rows import Row
 from repro.relational.relation import Relation
+from repro.relational.columnar import (
+    ColumnarDelta,
+    ColumnarRelation,
+    ColumnIndex,
+    evaluate_columnar,
+)
 from repro.relational.predicates import (
     Attr,
     Comparison,
@@ -47,6 +59,10 @@ __all__ = [
     "Schema",
     "Row",
     "Relation",
+    "ColumnarRelation",
+    "ColumnarDelta",
+    "ColumnIndex",
+    "evaluate_columnar",
     "Attr",
     "Const",
     "Comparison",

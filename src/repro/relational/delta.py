@@ -10,8 +10,18 @@ relation deltas through an expression using the classic counting rules
 * ``d(L join R)     = dL join R_old  +  L_old join dR  +  dL join dR``
 
 The join rule is exact for arbitrary mixes of insertions and deletions
-thanks to signed multiplicities.  This is the machinery each view manager
-uses to turn a source update into an action list.
+thanks to signed multiplicities.
+
+``propagate_delta`` here is the *unindexed reference* implementation: it
+re-derives each join's old sides and re-evaluates aggregate inputs
+(``_eval_counts_group_restricted``) against the pre-state on every call,
+so it costs O(|base|) per update.  The hot path is the compiled
+:class:`~repro.relational.plan.MaintenancePlan` (columnar kernels,
+indexed probes, self-maintained aggregate state — see
+``docs/engine.md``); view managers and :class:`MaterializedView` fall
+back to this module only when plan compilation raises
+:class:`~repro.relational.plan.PlanUnsupported`, and the test suite uses
+it as the equivalence oracle for both plan engines.
 """
 
 from __future__ import annotations

@@ -2,10 +2,12 @@
 
 A :class:`HashIndex` maps a key tuple (the values of a fixed attribute
 list) to the bag of rows carrying that key.  Indexes are the probe
-structure behind :mod:`repro.relational.plan`: instead of materializing an
-entire join side to match it against a delta, maintenance probes only the
-buckets named by the delta's join keys — O(|delta| x matching rows)
-instead of O(|side|).
+structure behind the row-dict maintenance engine
+(:mod:`repro.relational.plan_reference`; the default columnar engine
+probes :class:`~repro.relational.columnar.ColumnIndex` instead):
+rather than materializing an entire join side to match it against a
+delta, maintenance probes only the buckets named by the delta's join
+keys — O(|delta| x matching rows) instead of O(|side|).
 
 Indexes are owned by :class:`~repro.relational.relation.Relation` (see
 ``Relation.index_on``), built lazily on first use and kept in lockstep by
@@ -25,15 +27,31 @@ _EMPTY: Mapping[Row, int] = MappingProxyType({})
 
 
 class HashIndex:
-    """A bag index: key tuple -> {row: multiplicity}."""
+    """A bag index: key tuple -> {row: multiplicity}.
 
-    __slots__ = ("attrs", "_buckets")
+    When the owning relation has a schema, ``index_on`` passes its sorted
+    attribute ``layout``: key extraction then reads values positionally
+    off each row's normalised item tuple (the same column positions the
+    columnar engine uses) instead of doing one dict lookup per key
+    attribute.
+    """
 
-    def __init__(self, attrs: Iterable[str]) -> None:
+    __slots__ = ("attrs", "_buckets", "_positions")
+
+    def __init__(
+        self, attrs: Iterable[str], layout: tuple[str, ...] | None = None
+    ) -> None:
         self.attrs = tuple(attrs)
         self._buckets: dict[tuple, dict[Row, int]] = {}
+        self._positions: tuple[int, ...] | None = None
+        if layout is not None and all(a in layout for a in self.attrs):
+            self._positions = tuple(layout.index(a) for a in self.attrs)
 
     def key_of(self, row: Row) -> tuple:
+        positions = self._positions
+        if positions is not None:
+            items = row._items
+            return tuple(items[p][1] for p in positions)
         return tuple(row[a] for a in self.attrs)
 
     # -- maintenance -------------------------------------------------------

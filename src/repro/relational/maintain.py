@@ -8,11 +8,12 @@ simulation machinery — useful for embedding the maintenance engine in
 other systems (or for testing the delta rules in isolation).
 
 By default maintenance runs through a compiled
-:class:`~repro.relational.plan.MaintenancePlan` (hash-indexed join
-probes, self-maintained aggregates — O(|delta|) per update); expressions
-the plan compiler does not support fall back transparently to the
-unindexed :func:`~repro.relational.delta.propagate_delta` path.  Both
-paths implement the same counting rules, so results are identical.
+:class:`~repro.relational.plan.MaintenancePlan` (indexed join probes,
+self-maintained aggregates, columnar batch kernels — O(|delta|) per
+update, see ``docs/engine.md``); expressions the plan compiler does not
+support fall back transparently to the unindexed
+:func:`~repro.relational.delta.propagate_delta` path.  Both paths
+implement the same counting rules, so results are identical.
 
 Usage::
 

@@ -1,30 +1,46 @@
-"""Compiled incremental-maintenance plans (indexed self-maintenance).
+"""Compiled incremental-maintenance plans (indexed, columnar, vectorized).
 
 ``propagate_delta`` (:mod:`repro.relational.delta`) is correct but pays
 O(|base|) per update: its join rule materializes the *entire* opposite
 side of every join (``_eval_counts``) to match it against a delta, and its
-aggregate rule rescans base relations to restrict them to affected
-groups.  A :class:`MaintenancePlan` compiles a
+aggregate rule folds group state from a full child re-evaluation.  A
+:class:`MaintenancePlan` compiles a
 :class:`~repro.relational.expressions.ViewDefinition`'s expression once
 and keeps auxiliary structures so each update touches only rows matching
 the delta:
 
 * **Join inputs are probed, never rebuilt.**  A base-relation input
-  probes the relation's lazily-built hash index
-  (:meth:`Relation.index_on`) on the join attributes; a derived input
+  probes a lazily-built index on the join attributes; a derived input
   (anything that is not a bare base relation) is materialized once at
-  compile time as an auxiliary :class:`Relation` — the self-maintenance
-  style of Aziz & Batool (arXiv:1406.7685) — and thereafter maintained
-  incrementally and probed through its own index.
+  compile time — the self-maintenance style of Aziz & Batool
+  (arXiv:1406.7685) — and thereafter maintained incrementally and probed
+  through its own index.
 * **Aggregates are self-maintained.**  Count/sum group-bys keep a
   per-group state table (row count + running sums), so an update needs
-  only the child delta and the touched groups' old states — the
-  group-restricted re-evaluation of the unindexed path disappears
-  entirely.
+  only the child delta and the touched groups' old states.
 * **Schema inference and join attributes are computed once**, at compile
   time, instead of per update.
 
 Per-update cost drops from O(|base|) to O(|delta| x matching rows).
+
+**Engines.**  Since the columnar core landed the plan compiles to one of
+two node families (``engine=`` on :class:`MaintenancePlan` and
+:class:`PlanLibrary`):
+
+* ``"columnar"`` (the default) — deltas flow as layout-positioned
+  **value tuples** with signed counts; predicates/projections/join
+  merges/aggregate folds run as kernels compiled once per (operator,
+  layout) by :mod:`repro.relational.columnar`; probes read
+  :class:`~repro.relational.columnar.ColumnIndex` structures on each
+  relation's lockstep columnar store.  Facade ``Row``/``Delta`` objects
+  appear only at the batch boundary (base deltas in, view delta out).
+* ``"rows"`` — the pre-columnar row-dict family, kept verbatim in
+  :mod:`repro.relational.plan_reference` as the correctness reference
+  and benchmark baseline (B22 measures columnar against it).
+
+Both engines emit identical view deltas for every supported expression;
+``docs/engine.md`` walks through why the columnar one is an order of
+magnitude faster.
 
 Usage (the pattern :class:`~repro.relational.maintain.MaterializedView`
 and the cached view managers follow)::
@@ -59,11 +75,26 @@ counts.
 from __future__ import annotations
 
 from collections import defaultdict
-from types import MappingProxyType
 from typing import Mapping
 
 from repro.errors import ExpressionError
-from repro.relational.algebra import _eval_counts, join_counts
+from repro.relational import plan_reference as _rows
+from repro.relational.columnar import (
+    EMPTY_COUNTS,
+    AggregateKernel,
+    ColumnarDelta,
+    ColumnarRelation,
+    _eval_columnar,
+    compile_filter,
+    compile_join_probe,
+    compile_merge,
+    compile_projection,
+    counts_to_rows,
+    join_counts_columnar,
+    layout_of,
+    make_key,
+    rows_to_counts,
+)
 from repro.relational.delta import Delta
 from repro.relational.expressions import (
     Aggregate,
@@ -74,40 +105,64 @@ from repro.relational.expressions import (
     Select,
 )
 from repro.relational.relation import Relation
-from repro.relational.rows import Row
 
-_EMPTY: Mapping[Row, int] = MappingProxyType({})
+_ENGINES = ("columnar", "rows")
 
 
 class PlanUnsupported(ExpressionError):
     """The expression contains a node the plan compiler cannot handle."""
 
 
-class _BaseNode:
-    """A base-relation leaf: deltas come straight from the update batch.
+# ---------------------------------------------------------------------------
+# columnar node family (see plan_reference for the row-dict twin and the
+# shared node protocol: delta / probe / advance / rebuild / describe)
+# ---------------------------------------------------------------------------
 
-    When the leaf feeds a join (``probe_key`` set), probes go through the
-    live relation's hash index on the join attributes.  The relation
-    object is resolved once at compile time; the index is re-fetched per
-    probe so a ``clear``/``replace_all`` (which drops indexes) can never
-    leave a stale probe structure behind.
+class _CBaseNode:
+    """A base-relation leaf over the relation's lockstep columnar store.
+
+    ``delta`` converts the batch's facade :class:`Delta` to a tuple bag
+    exactly once per batch per relation (memoized under
+    ``("bd", name)`` in the staging dict — every node and plan in a
+    library round reuses the conversion).  Probes re-fetch the columnar
+    store and its :class:`ColumnIndex` per call, so a ``clear``/
+    ``replace_all`` (which drops the store) can never leave a stale
+    probe structure behind.
     """
 
-    __slots__ = ("name", "relation", "probe_key", "probes")
+    __slots__ = ("name", "relation", "layout", "probe_key", "probes")
 
     def __init__(self, name: str, relation: Relation, probe_key=None) -> None:
+        if relation.schema is None:
+            raise PlanUnsupported(
+                f"columnar engine needs a schema on base relation {name!r}"
+            )
         self.name = name
         self.relation = relation
+        self.layout = layout_of(relation.schema.names)
         self.probe_key = probe_key
         self.probes = 0
 
-    def delta(self, deltas: Mapping[str, Delta], staged: dict) -> Mapping[Row, int]:
+    def delta(self, deltas: Mapping[str, Delta], staged: dict) -> Mapping[tuple, int]:
+        memo = ("bd", self.name)
+        if memo in staged:
+            return staged[memo]
         delta = deltas.get(self.name)
-        return delta.counts() if delta else _EMPTY
+        out = rows_to_counts(self.layout, delta.counts()) if delta else EMPTY_COUNTS
+        staged[memo] = out
+        return out
 
-    def probe(self, key: tuple) -> Mapping[Row, int]:
+    def probe(self, key) -> Mapping[tuple, int]:
         self.probes += 1
-        return self.relation.index_on(self.probe_key).bucket(key)
+        return self.relation.columnar().index_on(self.probe_key).bucket(key)
+
+    def probe_table(self) -> Mapping[object, Mapping[tuple, int]]:
+        """The probe index's raw bucket mapping, for fused probe loops.
+
+        Callers account probes themselves (one per delta tuple driven
+        through the loop, matching :meth:`probe`'s per-key counting).
+        """
+        return self.relation.columnar().index_on(self.probe_key).table()
 
     def advance(self, staged: dict) -> None:
         pass  # the caller advances the base database itself
@@ -120,21 +175,25 @@ class _BaseNode:
         return ["  " * depth + f"base {self.name}{probe}"]
 
 
-class _SelectNode:
-    __slots__ = ("predicate", "child")
+class _CSelectNode:
+    """Vectorized selection: one compiled batch filter, no per-row calls."""
+
+    __slots__ = ("predicate", "child", "layout", "_filter")
 
     def __init__(self, predicate, child) -> None:
         self.predicate = predicate
         self.child = child
+        self.layout = child.layout
+        self._filter = compile_filter(predicate, child.layout)
 
-    def delta(self, deltas, staged) -> Mapping[Row, int]:
+    def delta(self, deltas, staged) -> Mapping[tuple, int]:
         memo = ("delta", id(self))
         if memo in staged:
             return staged[memo]
         child = self.child.delta(deltas, staged)
-        out: Mapping[Row, int] = _EMPTY
+        out: Mapping[tuple, int] = EMPTY_COUNTS
         if child:
-            out = {r: c for r, c in child.items() if self.predicate.evaluate(r)}
+            out = child if self._filter is None else self._filter(child)
         staged[memo] = out
         return out
 
@@ -148,26 +207,26 @@ class _SelectNode:
         return ["  " * depth + f"select[{self.predicate}]"] + self.child.describe(depth + 1)
 
 
-class _ProjectNode:
-    __slots__ = ("names", "child")
+class _CProjectNode:
+    """Vectorized bag projection: positional re-keying, counts folded."""
+
+    __slots__ = ("names", "child", "layout", "_project")
 
     def __init__(self, names, child) -> None:
         self.names = names
         self.child = child
+        self.layout, self._project = compile_projection(child.layout, names)
 
-    def delta(self, deltas, staged) -> Mapping[Row, int]:
+    def delta(self, deltas, staged) -> Mapping[tuple, int]:
         memo = ("delta", id(self))
         if memo in staged:
             return staged[memo]
         child = self.child.delta(deltas, staged)
-        result: Mapping[Row, int] = _EMPTY
+        out: Mapping[tuple, int] = EMPTY_COUNTS
         if child:
-            out: dict[Row, int] = defaultdict(int)
-            for row, count in child.items():
-                out[row.project(self.names)] += count
-            result = {r: c for r, c in out.items() if c}
-        staged[memo] = result
-        return result
+            out = self._project(child)
+        staged[memo] = out
+        return out
 
     def advance(self, staged) -> None:
         self.child.advance(staged)
@@ -180,15 +239,16 @@ class _ProjectNode:
         return ["  " * depth + f"project[{names}]"] + self.child.describe(depth + 1)
 
 
-class _MatInput:
-    """A join input materialized as an auxiliary relation.
+class _CMatInput:
+    """A join input materialized as an auxiliary columnar relation.
 
     ``delta`` computes the wrapped subexpression's delta and stages it;
-    ``advance`` folds the staged delta into the auxiliary relation, whose
-    hash index on the join attributes is what ``probe`` reads.
+    ``advance`` applies the staged tuple bag to the auxiliary store in
+    one validated batch (:meth:`ColumnarRelation.apply_signed`), whose
+    :class:`ColumnIndex` on the join attributes is what ``probe`` reads.
     """
 
-    __slots__ = ("expr", "node", "rel", "probe_key", "probes", "_db")
+    __slots__ = ("expr", "node", "store", "layout", "probe_key", "probes", "_db")
 
     def __init__(self, expr: Expression, node, db, probe_key) -> None:
         self.expr = expr
@@ -196,18 +256,24 @@ class _MatInput:
         self._db = db
         self.probe_key = probe_key
         self.probes = 0
-        self.rel = Relation.from_counts(_eval_counts(expr, db))
+        layout, counts = _eval_columnar(expr, db)
+        self.layout = layout
+        self.store = ColumnarRelation(layout, counts)
 
-    def delta(self, deltas, staged) -> Mapping[Row, int]:
+    def delta(self, deltas, staged) -> Mapping[tuple, int]:
         if id(self) in staged:
             return staged[id(self)]
         counts = self.node.delta(deltas, staged)
         staged[id(self)] = counts
         return counts
 
-    def probe(self, key: tuple) -> Mapping[Row, int]:
+    def probe(self, key) -> Mapping[tuple, int]:
         self.probes += 1
-        return self.rel.index_on(self.probe_key).bucket(key)
+        return self.store.index_on(self.probe_key).bucket(key)
+
+    def probe_table(self) -> Mapping[object, Mapping[tuple, int]]:
+        """Raw bucket mapping (see :meth:`_CBaseNode.probe_table`)."""
+        return self.store.index_on(self.probe_key).table()
 
     def advance(self, staged) -> None:
         self.node.advance(staged)
@@ -216,60 +282,101 @@ class _MatInput:
         # advances are no-ops — never a double application.
         counts = staged.pop(id(self), None)
         if counts:
-            # Delta.apply_to validates deletions — any underflow here means
+            # apply_signed validates deletions — any underflow here means
             # the base data was mutated behind the plan's back.
-            Delta(counts).apply_to(self.rel)
+            self.store.apply_signed(counts)
 
     def rebuild(self) -> None:
         self.node.rebuild()
-        self.rel = Relation.from_counts(_eval_counts(self.expr, self._db))
+        _, counts = _eval_columnar(self.expr, self._db)
+        self.store = ColumnarRelation(self.layout, counts)
 
     def describe(self, depth: int) -> list[str]:
         head = ("  " * depth
                 + f"aux materialization [indexed on {self.probe_key}, "
-                + f"{len(self.rel)} rows] of:")
+                + f"{len(self.store)} rows] of:")
         return [head] + self.node.describe(depth + 1)
 
 
-class _JoinNode:
+def _adopt_counts(root, counts, base_counts) -> ColumnarDelta:
+    """Engine-native root counts -> a :class:`ColumnarDelta`, no copy.
+
+    Operator nodes produce owned, zero-free dicts, which
+    ``ColumnarDelta._adopt`` can alias directly.  A pass-through root (a
+    bare base relation, or TRUE-selects over one) hands back one of the
+    *caller's* batch mappings, so anything identical to a ``base_counts``
+    value — or not a plain dict at all — pays the validating constructor
+    instead of aliasing caller-owned state.
+    """
+    if not isinstance(counts, dict) or any(
+        counts is batch for batch in base_counts.values()
+    ):
+        return ColumnarDelta(root.layout, counts)
+    return ColumnarDelta._adopt(root.layout, counts)
+
+
+class _CJoinNode:
     """d(L |><| R) = dL |><| R_old + L_old |><| dR + dL |><| dR.
 
     The old sides are never rebuilt: each single-delta term probes the
-    opposite input's index with only the delta rows' join keys.
+    opposite input's column index with only the delta tuples' join keys.
+    Key extraction and the output-tuple merge are compiled positionally
+    at plan-compile time — no attribute names, no ``Row.merge``.
     """
 
-    __slots__ = ("left", "right", "on")
+    __slots__ = ("left", "right", "on", "layout",
+                 "_left_key", "_right_key", "_merge",
+                 "_probe_left", "_probe_right")
 
     def __init__(self, left, right, on) -> None:
         self.left = left
         self.right = right
         self.on = on
+        self.layout, self._merge = compile_merge(left.layout, right.layout)
+        self._left_key = make_key(left.layout, on)
+        self._right_key = make_key(right.layout, on)
+        self._probe_left = compile_join_probe(left.layout, right.layout, on, True)
+        self._probe_right = compile_join_probe(right.layout, left.layout, on, False)
 
-    def delta(self, deltas, staged) -> Mapping[Row, int]:
+    def delta(self, deltas, staged) -> Mapping[tuple, int]:
         memo = ("delta", id(self))
         if memo in staged:
             return staged[memo]
         d_left = self.left.delta(deltas, staged)
         d_right = self.right.delta(deltas, staged)
         if not d_left and not d_right:
-            staged[memo] = _EMPTY
-            return _EMPTY
-        on = self.on
-        out: dict[Row, int] = defaultdict(int)
-        if d_left:
-            for row, count in d_left.items():
-                key = tuple(row[a] for a in on)
-                for other, other_count in self.right.probe(key).items():
-                    out[row.merge(other)] += count * other_count
-        if d_right:
-            for row, count in d_right.items():
-                key = tuple(row[a] for a in on)
-                for other, other_count in self.left.probe(key).items():
-                    out[other.merge(row)] += count * other_count
-        if d_left and d_right:
-            for row, count in join_counts(d_left, d_right, on).items():
-                out[row] += count
-        result = {r: c for r, c in out.items() if c}
+            staged[memo] = EMPTY_COUNTS
+            return EMPTY_COUNTS
+        if not d_right:
+            # single-sided batch (the common case): one fused probe loop,
+            # plain stores, provably no zero counts to filter
+            result: dict[tuple, int] = {}
+            self._probe_left(d_left.items(), self.right.probe_table().get, result)
+            self.right.probes += len(d_left)
+            staged[memo] = result
+            return result
+        if not d_left:
+            result = {}
+            self._probe_right(d_right.items(), self.left.probe_table().get, result)
+            self.left.probes += len(d_right)
+            staged[memo] = result
+            return result
+        merge = self._merge
+        out: dict[tuple, int] = defaultdict(int)
+        key_of, probe = self._left_key, self.right.probe
+        for t, count in d_left.items():
+            for other, other_count in probe(key_of(t)).items():
+                out[merge(t, other)] += count * other_count
+        key_of, probe = self._right_key, self.left.probe
+        for t, count in d_right.items():
+            for other, other_count in probe(key_of(t)).items():
+                out[merge(other, t)] += count * other_count
+        cross = join_counts_columnar(
+            d_left, d_right, self._left_key, self._right_key, merge
+        )
+        for t, count in cross.items():
+            out[t] += count
+        result = {t: c for t, c in out.items() if c}
         staged[memo] = result
         return result
 
@@ -287,75 +394,48 @@ class _JoinNode:
                 + self.right.describe(depth + 1))
 
 
-class _AggregateNode:
-    """Self-maintained count/sum group-by.
+class _CAggregateNode:
+    """Self-maintained count/sum group-by over the compiled fold kernel.
 
     Keeps one state vector per live group: ``[row_count, agg_1, ...]``.
-    An update folds the child delta's per-group contributions into the old
-    states and emits old-row deletions / new-row insertions for exactly
-    the touched groups — no re-evaluation of the child, restricted or
-    otherwise.
+    An update folds the child delta's per-group contributions into the
+    old states (one synthesized loop — see
+    :class:`~repro.relational.columnar.AggregateKernel`) and emits
+    old-tuple deletions / new-tuple insertions for exactly the touched
+    groups.
     """
 
-    __slots__ = ("expr", "child", "group_by", "aggregates", "_groups", "_db")
+    __slots__ = ("expr", "child", "layout", "_kernel", "_groups", "_db")
 
     def __init__(self, expr: Aggregate, child, db) -> None:
         self.expr = expr
         self.child = child
-        self.group_by = expr.group_by
-        self.aggregates = expr.aggregates
         self._db = db
+        self._kernel = AggregateKernel(expr, child.layout)
+        self.layout = self._kernel.layout
         self._groups: dict[tuple, list] = {}
-        self._accumulate(self._groups, _eval_counts(expr.child, db))
+        _, counts = _eval_columnar(expr.child, db)
+        self._kernel.accumulate(self._groups, counts)
 
-    def _accumulate(self, groups: dict[tuple, list], counts: Mapping[Row, int]) -> None:
-        width = len(self.aggregates)
-        for row, count in counts.items():
-            key = tuple(row[a] for a in self.group_by)
-            state = groups.setdefault(key, [0] * (width + 1))
-            state[0] += count
-            for index, spec in enumerate(self.aggregates, start=1):
-                if spec.fn == "count":
-                    state[index] += count
-                else:
-                    state[index] += count * row[spec.attr]
-
-    def _row_of(self, key: tuple, state: list) -> Row:
-        values = dict(zip(self.group_by, key))
-        for index, spec in enumerate(self.aggregates, start=1):
-            values[spec.alias] = state[index]
-        return Row(values)
-
-    def delta(self, deltas, staged) -> Mapping[Row, int]:
+    def delta(self, deltas, staged) -> Mapping[tuple, int]:
         memo = ("delta", id(self))
         if memo in staged:
             return staged[memo]
         d_child = self.child.delta(deltas, staged)
         if not d_child:
-            staged[memo] = _EMPTY
-            return _EMPTY
+            staged[memo] = EMPTY_COUNTS
+            return EMPTY_COUNTS
         contributions: dict[tuple, list] = {}
-        self._accumulate(contributions, d_child)
-        out: dict[Row, int] = defaultdict(int)
-        new_states: dict[tuple, list] = {}
-        for key, d_state in contributions.items():
-            old_state = self._groups.get(key)
-            if old_state is None:
-                new_state = d_state
-            else:
-                new_state = [o + d for o, d in zip(old_state, d_state)]
-                out[self._row_of(key, old_state)] -= 1
-            if new_state[0] != 0:
-                out[self._row_of(key, new_state)] += 1
-            new_states[key] = new_state
+        self._kernel.accumulate(contributions, d_child)
+        out, new_states = self._kernel.delta_pass(self._groups, contributions)
         staged[id(self)] = new_states
-        result = {r: c for r, c in out.items() if c}
+        result = {t: c for t, c in out.items() if c}
         staged[memo] = result
         return result
 
     def advance(self, staged) -> None:
         self.child.advance(staged)
-        # ``pop`` for the same shared-node reason as _MatInput.advance.
+        # ``pop`` for the same shared-node reason as _CMatInput.advance.
         for key, state in staged.pop(id(self), {}).items():
             if state[0] != 0:
                 self._groups[key] = state
@@ -365,12 +445,13 @@ class _AggregateNode:
     def rebuild(self) -> None:
         self.child.rebuild()
         self._groups = {}
-        self._accumulate(self._groups, _eval_counts(self.expr.child, self._db))
+        _, counts = _eval_columnar(self.expr.child, self._db)
+        self._kernel.accumulate(self._groups, counts)
 
     def describe(self, depth: int) -> list[str]:
-        aggs = ", ".join(str(a) for a in self.aggregates)
+        aggs = ", ".join(str(a) for a in self.expr.aggregates)
         head = ("  " * depth
-                + f"aggregate[by={self.group_by}; {aggs}] "
+                + f"aggregate[by={self.expr.group_by}; {aggs}] "
                 + f"[{len(self._groups)} group states]")
         return [head] + self.child.describe(depth + 1)
 
@@ -384,6 +465,11 @@ class MaintenancePlan:
     only through the coordinated ``propagate``/``apply_deltas``/
     ``advance`` sequence — after any out-of-band mutation call
     :meth:`rebuild`.
+
+    ``engine`` selects the node family (see the module docstring):
+    ``"columnar"`` (default) or ``"rows"`` (the reference path in
+    :mod:`repro.relational.plan_reference`).  Both expose the same
+    protocol and emit identical deltas.
     """
 
     def __init__(
@@ -391,8 +477,21 @@ class MaintenancePlan:
         expression: Expression,
         database,
         library: "PlanLibrary | None" = None,
+        engine: str | None = None,
     ) -> None:
+        if engine is None:
+            engine = library.engine if library is not None else "columnar"
+        if engine not in _ENGINES:
+            raise ExpressionError(
+                f"unknown plan engine {engine!r}; expected one of {_ENGINES}"
+            )
+        if library is not None and engine != library.engine:
+            raise ExpressionError(
+                f"plan engine {engine!r} conflicts with library engine "
+                f"{library.engine!r}"
+            )
         self.expression = expression
+        self.engine = engine
         self._db = database
         self._library = library
         #: every node this plan reads, interned or private (may contain
@@ -423,40 +522,64 @@ class MaintenancePlan:
         return self._intern(("node", expr), lambda: self._build(expr))
 
     def _build(self, expr: Expression):
+        rows = self.engine == "rows"
         if isinstance(expr, BaseRelation):
-            return _BaseNode(expr.name, self._db.relation(expr.name))
+            relation = self._db.relation(expr.name)
+            if rows:
+                return _rows.BaseNode(expr.name, relation)
+            return _CBaseNode(expr.name, relation)
         if isinstance(expr, Select):
-            return _SelectNode(expr.predicate, self._compile(expr.child))
+            child = self._compile(expr.child)
+            if rows:
+                return _rows.SelectNode(expr.predicate, child)
+            return _CSelectNode(expr.predicate, child)
         if isinstance(expr, Project):
-            return _ProjectNode(expr.names, self._compile(expr.child))
+            child = self._compile(expr.child)
+            if rows:
+                return _rows.ProjectNode(expr.names, child)
+            return _CProjectNode(expr.names, child)
         if isinstance(expr, Join):
             on = expr.join_attributes(self._schemas)
-            return _JoinNode(
-                self._compile_input(expr.left, on),
-                self._compile_input(expr.right, on),
-                on,
-            )
+            left = self._compile_input(expr.left, on)
+            right = self._compile_input(expr.right, on)
+            if rows:
+                return _rows.JoinNode(left, right, on)
+            return _CJoinNode(left, right, on)
         if isinstance(expr, Aggregate):
-            return _AggregateNode(expr, self._compile(expr.child), self._db)
+            child = self._compile(expr.child)
+            if rows:
+                return _rows.AggregateNode(expr, child, self._db)
+            return _CAggregateNode(expr, child, self._db)
         raise PlanUnsupported(
             f"no maintenance plan for {type(expr).__name__} nodes"
         )
 
     def _compile_input(self, expr: Expression, on: tuple[str, ...]):
         """Compile a join operand: indexed base probe or aux materialization."""
+        rows = self.engine == "rows"
         if isinstance(expr, BaseRelation):
-            return self._intern(
-                ("input", expr, on),
-                lambda: _BaseNode(
+            if rows:
+                build = lambda: _rows.BaseNode(
                     expr.name, self._db.relation(expr.name), probe_key=on
-                ),
-            )
-        return self._intern(
-            ("input", expr, on),
-            lambda: _MatInput(expr, self._compile(expr), self._db, on),
-        )
+                )
+            else:
+                build = lambda: _CBaseNode(
+                    expr.name, self._db.relation(expr.name), probe_key=on
+                )
+            return self._intern(("input", expr, on), build)
+        if rows:
+            build = lambda: _rows.MatInput(expr, self._compile(expr), self._db, on)
+        else:
+            build = lambda: _CMatInput(expr, self._compile(expr), self._db, on)
+        return self._intern(("input", expr, on), build)
 
     # -- maintenance -------------------------------------------------------
+    def _to_delta(self, counts) -> Delta:
+        """The facade boundary: engine-native counts -> a facade Delta."""
+        if self.engine == "rows":
+            return Delta(counts)
+        return Delta(counts_to_rows(self._root.layout, counts))
+
     def propagate(self, base_deltas: Mapping[str, Delta]) -> Delta:
         """The view delta induced by ``base_deltas`` on the pre-state.
 
@@ -467,7 +590,33 @@ class MaintenancePlan:
         self._staged = {}
         counts = self._root.delta(base_deltas, self._staged)
         self.propagations += 1
-        return Delta(counts)
+        return self._to_delta(counts)
+
+    def propagate_counts(
+        self, base_counts: Mapping[str, Mapping[tuple, int]]
+    ) -> ColumnarDelta:
+        """Fully-columnar :meth:`propagate`: tuple bags in, tuple bag out.
+
+        ``base_counts`` maps relation names to signed non-zero counts
+        keyed by layout-positioned value tuples (attribute names sorted —
+        the same order :func:`~repro.relational.columnar.layout_of`
+        produces).
+        The batch never crosses the facade: no ``Row`` objects are built
+        on either side, which is where a batch pipeline's constant factor
+        lives (see docs/engine.md).  Staging/advance semantics are
+        identical to :meth:`propagate`.
+        """
+        if self.engine != "columnar":
+            raise ExpressionError(
+                "propagate_counts needs the columnar engine; this plan "
+                f"runs engine={self.engine!r}"
+            )
+        self._staged = {}
+        for name, counts in base_counts.items():
+            self._staged[("bd", name)] = counts
+        counts = self._root.delta({}, self._staged)
+        self.propagations += 1
+        return _adopt_counts(self._root, counts, base_counts)
 
     def advance(self) -> None:
         """Fold the most recent :meth:`propagate`'s staged deltas in.
@@ -505,7 +654,7 @@ class MaintenancePlan:
         return sum(seen.values())
 
     def __repr__(self) -> str:
-        return (f"MaintenancePlan({self.expression}, "
+        return (f"MaintenancePlan({self.expression}, engine={self.engine!r}, "
                 f"propagations={self.propagations})")
 
 
@@ -516,13 +665,16 @@ class PlanLibrary:
     once, so the compiled :class:`MaintenancePlan`s of same-shard views
     literally share node objects: the join both views read is evaluated
     once per batch, its auxiliary materialization is maintained once, and
-    one index probe feeds every reader.
+    one index probe feeds every reader.  All plans in a library run the
+    same ``engine`` — sharing a node between engines would make its
+    native delta format ambiguous.
 
     The library owns the propagation round:
 
     * :meth:`propagate_all` runs every plan against one shared staging
       dict — per-batch node memoization means each shared node computes
-      its delta exactly once per round;
+      its delta exactly once per round (under the columnar engine even
+      the batch's Row->tuple base-delta conversion is shared);
     * :meth:`advance_all` advances every plan; stateful shared nodes
       (aux materializations, aggregate group states) consume their staged
       entry on first advance and no-op after, so shared state moves
@@ -534,8 +686,13 @@ class PlanLibrary:
     point of sharing.)
     """
 
-    def __init__(self, database) -> None:
+    def __init__(self, database, engine: str = "columnar") -> None:
+        if engine not in _ENGINES:
+            raise ExpressionError(
+                f"unknown plan engine {engine!r}; expected one of {_ENGINES}"
+            )
         self._db = database
+        self.engine = engine
         self._interned: dict[tuple, object] = {}
         self._uses: dict[tuple, int] = {}
         self.plans: dict[str, MaintenancePlan] = {}
@@ -566,7 +723,36 @@ class PlanLibrary:
         out: dict[str, Delta] = {}
         for name, plan in self.plans.items():
             plan._staged = staged
-            out[name] = Delta(plan._root.delta(base_deltas, staged))
+            out[name] = plan._to_delta(plan._root.delta(base_deltas, staged))
+            plan.propagations += 1
+        return out
+
+    def propagate_all_counts(
+        self, base_counts: Mapping[str, Mapping[tuple, int]]
+    ) -> dict[str, ColumnarDelta]:
+        """Fully-columnar :meth:`propagate_all`: one raw batch, every view.
+
+        The library twin of :meth:`MaintenancePlan.propagate_counts`:
+        ``base_counts`` holds signed counts keyed by layout-positioned
+        tuples, the shared staging dict carries them straight into every
+        plan's base nodes, and each view's delta comes back as a
+        :class:`~repro.relational.columnar.ColumnarDelta` — no ``Row``
+        is built anywhere in the round.
+        """
+        if self.engine != "columnar":
+            raise ExpressionError(
+                "propagate_all_counts needs the columnar engine; this "
+                f"library runs engine={self.engine!r}"
+            )
+        staged: dict = {}
+        for name, counts in base_counts.items():
+            staged[("bd", name)] = counts
+        out: dict[str, ColumnarDelta] = {}
+        for name, plan in self.plans.items():
+            plan._staged = staged
+            out[name] = _adopt_counts(
+                plan._root, plan._root.delta({}, staged), base_counts
+            )
             plan.propagations += 1
         return out
 

@@ -1,0 +1,332 @@
+"""The row-dict maintenance engine (``engine="rows"``) — the reference.
+
+These are the node classes :class:`~repro.relational.plan.MaintenancePlan`
+compiled to before the columnar engine landed: every delta is a
+``Row -> signed count`` bag, predicates are interpreted per row, join
+merges go through :meth:`Row.merge`, and probes read the facade
+:class:`~repro.relational.indexes.HashIndex`.  The family is kept for two
+jobs:
+
+* **correctness reference** — the hypothesis properties in
+  ``tests/relational/test_columnar_properties.py`` pin the columnar
+  engine bag-for-bag against this one over random expressions and
+  deltas;
+* **benchmark baseline** — ``benchmarks/test_b22_columnar.py`` measures
+  the columnar engine's speedup against exactly this pre-change path.
+
+The node protocol (shared with the columnar family in ``plan.py``):
+``delta(deltas, staged)`` computes a node's signed delta purely,
+memoizing per batch under ``("delta", id(self))`` in the shared staging
+dict; probe-role nodes expose ``probe(key)`` and a ``probes`` counter;
+``advance(staged)`` folds staged state forward, with stateful nodes using
+``staged.pop`` so a node shared across plans (PlanLibrary) advances
+exactly once; ``rebuild()`` re-derives state from the database;
+``describe(depth)`` renders the plan tree.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from types import MappingProxyType
+from typing import Mapping
+
+from repro.relational.algebra import _eval_counts, join_counts
+from repro.relational.delta import Delta
+from repro.relational.expressions import Aggregate, Expression
+from repro.relational.relation import Relation
+from repro.relational.rows import Row
+
+_EMPTY: Mapping[Row, int] = MappingProxyType({})
+
+
+class BaseNode:
+    """A base-relation leaf: deltas come straight from the update batch.
+
+    When the leaf feeds a join (``probe_key`` set), probes go through the
+    live relation's hash index on the join attributes.  The relation
+    object is resolved once at compile time; the index is re-fetched per
+    probe so a ``clear``/``replace_all`` (which drops indexes) can never
+    leave a stale probe structure behind.
+    """
+
+    __slots__ = ("name", "relation", "probe_key", "probes")
+
+    def __init__(self, name: str, relation: Relation, probe_key=None) -> None:
+        self.name = name
+        self.relation = relation
+        self.probe_key = probe_key
+        self.probes = 0
+
+    def delta(self, deltas: Mapping[str, Delta], staged: dict) -> Mapping[Row, int]:
+        delta = deltas.get(self.name)
+        return delta.counts() if delta else _EMPTY
+
+    def probe(self, key: tuple) -> Mapping[Row, int]:
+        self.probes += 1
+        return self.relation.index_on(self.probe_key).bucket(key)
+
+    def advance(self, staged: dict) -> None:
+        pass  # the caller advances the base database itself
+
+    def rebuild(self) -> None:
+        pass
+
+    def describe(self, depth: int) -> list[str]:
+        probe = f" [indexed on {self.probe_key}]" if self.probe_key is not None else ""
+        return ["  " * depth + f"base {self.name}{probe}"]
+
+
+class SelectNode:
+    __slots__ = ("predicate", "child")
+
+    def __init__(self, predicate, child) -> None:
+        self.predicate = predicate
+        self.child = child
+
+    def delta(self, deltas, staged) -> Mapping[Row, int]:
+        memo = ("delta", id(self))
+        if memo in staged:
+            return staged[memo]
+        child = self.child.delta(deltas, staged)
+        out: Mapping[Row, int] = _EMPTY
+        if child:
+            out = {r: c for r, c in child.items() if self.predicate.evaluate(r)}
+        staged[memo] = out
+        return out
+
+    def advance(self, staged) -> None:
+        self.child.advance(staged)
+
+    def rebuild(self) -> None:
+        self.child.rebuild()
+
+    def describe(self, depth: int) -> list[str]:
+        return ["  " * depth + f"select[{self.predicate}]"] + self.child.describe(depth + 1)
+
+
+class ProjectNode:
+    __slots__ = ("names", "child")
+
+    def __init__(self, names, child) -> None:
+        self.names = names
+        self.child = child
+
+    def delta(self, deltas, staged) -> Mapping[Row, int]:
+        memo = ("delta", id(self))
+        if memo in staged:
+            return staged[memo]
+        child = self.child.delta(deltas, staged)
+        result: Mapping[Row, int] = _EMPTY
+        if child:
+            out: dict[Row, int] = defaultdict(int)
+            for row, count in child.items():
+                out[row.project(self.names)] += count
+            result = {r: c for r, c in out.items() if c}
+        staged[memo] = result
+        return result
+
+    def advance(self, staged) -> None:
+        self.child.advance(staged)
+
+    def rebuild(self) -> None:
+        self.child.rebuild()
+
+    def describe(self, depth: int) -> list[str]:
+        names = ", ".join(self.names)
+        return ["  " * depth + f"project[{names}]"] + self.child.describe(depth + 1)
+
+
+class MatInput:
+    """A join input materialized as an auxiliary relation.
+
+    ``delta`` computes the wrapped subexpression's delta and stages it;
+    ``advance`` folds the staged delta into the auxiliary relation, whose
+    hash index on the join attributes is what ``probe`` reads.
+    """
+
+    __slots__ = ("expr", "node", "rel", "probe_key", "probes", "_db")
+
+    def __init__(self, expr: Expression, node, db, probe_key) -> None:
+        self.expr = expr
+        self.node = node
+        self._db = db
+        self.probe_key = probe_key
+        self.probes = 0
+        self.rel = Relation.from_counts(_eval_counts(expr, db))
+
+    def delta(self, deltas, staged) -> Mapping[Row, int]:
+        if id(self) in staged:
+            return staged[id(self)]
+        counts = self.node.delta(deltas, staged)
+        staged[id(self)] = counts
+        return counts
+
+    def probe(self, key: tuple) -> Mapping[Row, int]:
+        self.probes += 1
+        return self.rel.index_on(self.probe_key).bucket(key)
+
+    def advance(self, staged) -> None:
+        self.node.advance(staged)
+        # ``pop``: when plans share this node (PlanLibrary), the first
+        # owner's advance consumes the staged delta and later owners'
+        # advances are no-ops — never a double application.
+        counts = staged.pop(id(self), None)
+        if counts:
+            # Delta.apply_to validates deletions — any underflow here means
+            # the base data was mutated behind the plan's back.
+            Delta(counts).apply_to(self.rel)
+
+    def rebuild(self) -> None:
+        self.node.rebuild()
+        self.rel = Relation.from_counts(_eval_counts(self.expr, self._db))
+
+    def describe(self, depth: int) -> list[str]:
+        head = ("  " * depth
+                + f"aux materialization [indexed on {self.probe_key}, "
+                + f"{len(self.rel)} rows] of:")
+        return [head] + self.node.describe(depth + 1)
+
+
+class JoinNode:
+    """d(L |><| R) = dL |><| R_old + L_old |><| dR + dL |><| dR.
+
+    The old sides are never rebuilt: each single-delta term probes the
+    opposite input's index with only the delta rows' join keys.
+    """
+
+    __slots__ = ("left", "right", "on")
+
+    def __init__(self, left, right, on) -> None:
+        self.left = left
+        self.right = right
+        self.on = on
+
+    def delta(self, deltas, staged) -> Mapping[Row, int]:
+        memo = ("delta", id(self))
+        if memo in staged:
+            return staged[memo]
+        d_left = self.left.delta(deltas, staged)
+        d_right = self.right.delta(deltas, staged)
+        if not d_left and not d_right:
+            staged[memo] = _EMPTY
+            return _EMPTY
+        on = self.on
+        out: dict[Row, int] = defaultdict(int)
+        if d_left:
+            for row, count in d_left.items():
+                key = tuple(row[a] for a in on)
+                for other, other_count in self.right.probe(key).items():
+                    out[row.merge(other)] += count * other_count
+        if d_right:
+            for row, count in d_right.items():
+                key = tuple(row[a] for a in on)
+                for other, other_count in self.left.probe(key).items():
+                    out[other.merge(row)] += count * other_count
+        if d_left and d_right:
+            for row, count in join_counts(d_left, d_right, on).items():
+                out[row] += count
+        result = {r: c for r, c in out.items() if c}
+        staged[memo] = result
+        return result
+
+    def advance(self, staged) -> None:
+        self.left.advance(staged)
+        self.right.advance(staged)
+
+    def rebuild(self) -> None:
+        self.left.rebuild()
+        self.right.rebuild()
+
+    def describe(self, depth: int) -> list[str]:
+        head = "  " * depth + f"join[on={self.on}]"
+        return ([head] + self.left.describe(depth + 1)
+                + self.right.describe(depth + 1))
+
+
+class AggregateNode:
+    """Self-maintained count/sum group-by.
+
+    Keeps one state vector per live group: ``[row_count, agg_1, ...]``.
+    An update folds the child delta's per-group contributions into the old
+    states and emits old-row deletions / new-row insertions for exactly
+    the touched groups — no re-evaluation of the child (the columnar
+    engine's :class:`~repro.relational.columnar.AggregateKernel` is the
+    compiled form of the same fold).
+    """
+
+    __slots__ = ("expr", "child", "group_by", "aggregates", "_groups", "_db")
+
+    def __init__(self, expr: Aggregate, child, db) -> None:
+        self.expr = expr
+        self.child = child
+        self.group_by = expr.group_by
+        self.aggregates = expr.aggregates
+        self._db = db
+        self._groups: dict[tuple, list] = {}
+        self._accumulate(self._groups, _eval_counts(expr.child, db))
+
+    def _accumulate(self, groups: dict[tuple, list], counts: Mapping[Row, int]) -> None:
+        width = len(self.aggregates)
+        for row, count in counts.items():
+            key = tuple(row[a] for a in self.group_by)
+            state = groups.setdefault(key, [0] * (width + 1))
+            state[0] += count
+            for index, spec in enumerate(self.aggregates, start=1):
+                if spec.fn == "count":
+                    state[index] += count
+                else:
+                    state[index] += count * row[spec.attr]
+
+    def _row_of(self, key: tuple, state: list) -> Row:
+        values = dict(zip(self.group_by, key))
+        for index, spec in enumerate(self.aggregates, start=1):
+            values[spec.alias] = state[index]
+        return Row(values)
+
+    def delta(self, deltas, staged) -> Mapping[Row, int]:
+        memo = ("delta", id(self))
+        if memo in staged:
+            return staged[memo]
+        d_child = self.child.delta(deltas, staged)
+        if not d_child:
+            staged[memo] = _EMPTY
+            return _EMPTY
+        contributions: dict[tuple, list] = {}
+        self._accumulate(contributions, d_child)
+        out: dict[Row, int] = defaultdict(int)
+        new_states: dict[tuple, list] = {}
+        for key, d_state in contributions.items():
+            old_state = self._groups.get(key)
+            if old_state is None:
+                new_state = d_state
+            else:
+                new_state = [o + d for o, d in zip(old_state, d_state)]
+                out[self._row_of(key, old_state)] -= 1
+            if new_state[0] != 0:
+                out[self._row_of(key, new_state)] += 1
+            new_states[key] = new_state
+        staged[id(self)] = new_states
+        result = {r: c for r, c in out.items() if c}
+        staged[memo] = result
+        return result
+
+    def advance(self, staged) -> None:
+        self.child.advance(staged)
+        # ``pop`` for the same shared-node reason as MatInput.advance.
+        for key, state in staged.pop(id(self), {}).items():
+            if state[0] != 0:
+                self._groups[key] = state
+            else:
+                self._groups.pop(key, None)
+
+    def rebuild(self) -> None:
+        self.child.rebuild()
+        self._groups = {}
+        self._accumulate(self._groups, _eval_counts(self.expr.child, self._db))
+
+    def describe(self, depth: int) -> list[str]:
+        aggs = ", ".join(str(a) for a in self.aggregates)
+        head = ("  " * depth
+                + f"aggregate[by={self.group_by}; {aggs}] "
+                + f"[{len(self._groups)} group states]")
+        return [head] + self.child.describe(depth + 1)

@@ -13,6 +13,7 @@ from types import MappingProxyType
 from typing import Iterable, Iterator, Mapping
 
 from repro.errors import RelationError, SchemaError
+from repro.relational.columnar import ColumnarRelation
 from repro.relational.indexes import HashIndex
 from repro.relational.rows import Row
 from repro.relational.schema import Schema
@@ -26,7 +27,7 @@ class Relation:
     built hash indexes kept in lockstep by ``insert``/``delete``.
     """
 
-    __slots__ = ("_schema", "_counts", "_size", "_indexes")
+    __slots__ = ("_schema", "_counts", "_size", "_indexes", "_store")
 
     def __init__(
         self,
@@ -37,6 +38,7 @@ class Relation:
         self._counts: dict[Row, int] = {}
         self._size = 0
         self._indexes: dict[tuple[str, ...], HashIndex] = {}
+        self._store: ColumnarRelation | None = None
         for row in rows:
             self.insert(row)
 
@@ -103,15 +105,42 @@ class Relation:
         Subsequent ``insert``/``delete`` calls keep it maintained, so
         repeated probes never pay a rebuild.  ``clear`` (and therefore
         ``replace_all``) drops all indexes; they rebuild on next use.
-        Every attribute must exist on every row of the relation.
+        Every attribute must exist on every row of the relation.  When
+        the relation carries a schema, key extraction is positional over
+        the schema layout instead of per-attribute dict lookups.
         """
         key = tuple(attrs)
         index = self._indexes.get(key)
         if index is None:
-            index = HashIndex(key)
+            layout = (
+                tuple(sorted(self._schema.names))
+                if self._schema is not None
+                else None
+            )
+            index = HashIndex(key, layout=layout)
             index.build(self._counts)
             self._indexes[key] = index
         return index
+
+    def columnar(self) -> ColumnarRelation:
+        """The columnar twin of this relation, built lazily on first use.
+
+        Like the hash indexes, the store is kept in lockstep by
+        ``insert``/``delete`` and dropped by ``clear()`` (so out-of-band
+        ``replace_all`` cannot desync it); ``copy()`` does not carry it.
+        Requires a schema — the schema's attribute set is the columnar
+        layout, and schema validation is what guarantees every row fits
+        it.  See ``docs/engine.md`` for the facade contract.
+        """
+        store = self._store
+        if store is None:
+            if self._schema is None:
+                raise RelationError(
+                    "columnar storage requires a schema (the layout)"
+                )
+            store = ColumnarRelation.from_rows(self._schema.names, self._counts)
+            self._store = store
+        return store
 
     def multiplicity(self, row: Row) -> int:
         return self._counts.get(row, 0)
@@ -159,6 +188,8 @@ class Relation:
         if self._indexes:
             for index in self._indexes.values():
                 index.add(row, count)
+        if self._store is not None:
+            self._store.insert(row.values_tuple(self._store.layout), count)
 
     def delete(self, row: Row | Mapping[str, object], count: int = 1) -> None:
         """Delete ``count`` copies of ``row``; the row must be present."""
@@ -178,6 +209,8 @@ class Relation:
         if self._indexes:
             for index in self._indexes.values():
                 index.remove(row, count)
+        if self._store is not None:
+            self._store.delete(row.values_tuple(self._store.layout), count)
 
     def modify(
         self,
@@ -198,6 +231,7 @@ class Relation:
         self._counts.clear()
         self._size = 0
         self._indexes.clear()
+        self._store = None
 
     def replace_all(self, rows: Iterable[Row]) -> None:
         """Replace the entire contents (periodic-refresh semantics)."""

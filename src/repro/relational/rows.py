@@ -8,9 +8,12 @@ freely between simulated processes.
 
 from __future__ import annotations
 
+from operator import itemgetter
 from typing import Iterable, Iterator, Mapping
 
 from repro.errors import SchemaError
+
+_ITEM_VALUE = itemgetter(1)
 
 
 class Row(Mapping[str, object]):
@@ -26,7 +29,7 @@ class Row(Mapping[str, object]):
     were built.
     """
 
-    __slots__ = ("_items", "_dict", "_hash", "_projections")
+    __slots__ = ("_items", "_dict", "_hash", "_projections", "_names")
 
     def __init__(self, values: Mapping[str, object] | None = None, **kwargs: object):
         merged: dict[str, object] = dict(values) if values else {}
@@ -41,6 +44,7 @@ class Row(Mapping[str, object]):
         object.__setattr__(self, "_dict", dict(items))
         object.__setattr__(self, "_hash", hash(items))
         object.__setattr__(self, "_projections", None)
+        object.__setattr__(self, "_names", None)
 
     @classmethod
     def _from_sorted_items(cls, items: tuple) -> "Row":
@@ -54,6 +58,7 @@ class Row(Mapping[str, object]):
         object.__setattr__(row, "_dict", dict(items))
         object.__setattr__(row, "_hash", hash(items))
         object.__setattr__(row, "_projections", None)
+        object.__setattr__(row, "_names", None)
         return row
 
     # -- Mapping protocol ------------------------------------------------
@@ -96,6 +101,32 @@ class Row(Mapping[str, object]):
     @property
     def names(self) -> tuple[str, ...]:
         return tuple(self._dict)
+
+    def sorted_names(self) -> tuple[str, ...]:
+        """The attribute names in normalised (sorted) order, cached.
+
+        This *is* the row's columnar layout: items are stored sorted by
+        name, so a sorted layout over the same attribute set lines up
+        with the row's values positionally.
+        """
+        cached = self._names
+        if cached is None:
+            cached = tuple(pair[0] for pair in self._items)
+            object.__setattr__(self, "_names", cached)
+        return cached
+
+    def values_tuple(self, layout: tuple[str, ...]) -> tuple:
+        """The attribute values in ``layout`` order, as a plain tuple.
+
+        This is the row -> columnar boundary conversion.  When ``layout``
+        equals the row's own sorted names (the common case — schema
+        validation guarantees every row of a schema'd relation carries
+        exactly the schema's attributes), values are read straight off
+        the normalised items with no per-name lookup.
+        """
+        if layout == self.sorted_names():
+            return tuple(map(_ITEM_VALUE, self._items))
+        return tuple(self[name] for name in layout)
 
     def project(self, names: Iterable[str]) -> "Row":
         """Return a new row containing only ``names``.

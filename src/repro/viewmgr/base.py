@@ -158,8 +158,9 @@ class ViewManager(Process):
         self._replica = replica
         # Cached mode processes every batch against this one stable
         # database, so maintenance can run through a compiled indexed
-        # plan; query-back modes rebuild a pre-state per batch and keep
-        # the unindexed path.
+        # plan (columnar-engine by default — see docs/engine.md);
+        # query-back modes rebuild a pre-state per batch and keep the
+        # unindexed path.
         try:
             self._plan = MaintenancePlan(self.definition.expression, replica)
         except PlanUnsupported:

@@ -1,0 +1,231 @@
+"""Property tests: the columnar engine is bag-for-bag the row-dict one.
+
+Facade-equivalence contract for the columnar core (see docs/engine.md):
+for ANY supported expression over R(A,B), S(B,C) and ANY applicable mixed
+delta sequence,
+
+* ``evaluate_columnar`` equals the row-dict ``evaluate``;
+* a ``engine="columnar"`` plan's propagated delta equals the
+  ``engine="rows"`` reference plan's AND the unindexed
+  ``propagate_delta`` — at every step of a multi-batch sequence, so the
+  columnar auxiliary state (aux materializations, aggregate group
+  states) is exercised after advancing, not just from a fresh compile.
+
+Deterministic edge cases ride along: empty relations, all-delete deltas
+that empty the database, and duplicate-row multiplicities.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.relational.algebra import evaluate
+from repro.relational.columnar import evaluate_columnar
+from repro.relational.database import Database
+from repro.relational.delta import Delta, propagate_delta
+from repro.relational.expressions import (
+    Aggregate,
+    AggregateSpec,
+    BaseRelation,
+    Expression,
+    Join,
+    Project,
+    Select,
+)
+from repro.relational.plan import MaintenancePlan
+from repro.relational.predicates import compare
+from repro.relational.rows import Row
+from repro.relational.schema import Schema
+
+VALUES = st.integers(min_value=0, max_value=4)
+SCHEMAS = {"R": Schema(["A", "B"]), "S": Schema(["B", "C"])}
+
+
+def rows_for(names: tuple[str, ...]):
+    return st.builds(
+        lambda vals: Row(dict(zip(names, vals))),
+        st.tuples(*([VALUES] * len(names))),
+    )
+
+
+@st.composite
+def databases(draw, min_size: int = 0) -> Database:
+    # small value domain + up to 6 rows per relation => duplicate rows
+    # (multiplicity > 1) appear routinely
+    db = Database()
+    db.create_relation(
+        "R",
+        SCHEMAS["R"],
+        draw(st.lists(rows_for(("A", "B")), min_size=min_size, max_size=6)),
+    )
+    db.create_relation(
+        "S",
+        SCHEMAS["S"],
+        draw(st.lists(rows_for(("B", "C")), min_size=min_size, max_size=6)),
+    )
+    return db
+
+
+@st.composite
+def sides(draw, name: str) -> Expression:
+    """A join operand: bare base (indexed probe) or derived (aux mat)."""
+    expr: Expression = BaseRelation(name)
+    if draw(st.booleans()):
+        attr = draw(st.sampled_from(["A", "B"] if name == "R" else ["B", "C"]))
+        op = draw(st.sampled_from(["=", "<", ">=", "!="]))
+        expr = Select(compare(attr, op, draw(VALUES)), expr)
+    return expr
+
+
+@st.composite
+def expressions(draw) -> Expression:
+    shape = draw(st.sampled_from(["base", "join", "mixed_join"]))
+    if shape == "base":
+        expr: Expression = draw(sides(draw(st.sampled_from(["R", "S"]))))
+    elif shape == "join":
+        expr = Join(BaseRelation("R"), BaseRelation("S"))
+    else:
+        expr = Join(draw(sides("R")), draw(sides("S")), on=("B",))
+    schema = expr.infer_schema(SCHEMAS)
+    names = list(schema.names)
+    if draw(st.booleans()):
+        attr = draw(st.sampled_from(names))
+        op = draw(st.sampled_from(["=", "<", ">=", "!="]))
+        expr = Select(compare(attr, op, draw(VALUES)), expr)
+    wrap = draw(st.sampled_from(["none", "project", "aggregate"]))
+    if wrap == "project":
+        keep = draw(st.integers(min_value=1, max_value=len(names)))
+        expr = Project(tuple(names[:keep]), expr)
+    elif wrap == "aggregate":
+        group_by = tuple(
+            names[: draw(st.integers(min_value=0, max_value=min(2, len(names) - 1)))]
+        )
+        summed = draw(st.sampled_from(names))
+        specs = (AggregateSpec("count", "cnt"), AggregateSpec("sum", "tot", summed))
+        expr = Aggregate(group_by, specs, expr)
+    return expr
+
+
+@st.composite
+def base_deltas(draw, db: Database):
+    """Applicable mixed deltas: inserts anywhere, deletes of live rows."""
+    deltas: dict[str, Delta] = {}
+    for name, attrs in (("R", ("A", "B")), ("S", ("B", "C"))):
+        counts: dict[Row, int] = {}
+        for row in draw(st.lists(rows_for(attrs), max_size=3)):
+            counts[row] = counts.get(row, 0) + 1
+        live = list(db.relation(name))
+        if live:
+            victims = draw(
+                st.lists(st.sampled_from(live), max_size=min(3, len(live)))
+            )
+            budget: dict[Row, int] = {}
+            for victim in victims:
+                budget[victim] = budget.get(victim, 0) + 1
+            for row, wanted in budget.items():
+                available = db.relation(name).multiplicity(row) + counts.get(row, 0)
+                take = min(wanted, available)
+                if take:
+                    counts[row] = counts.get(row, 0) - take
+        if counts:
+            deltas[name] = Delta(counts)
+    return deltas
+
+
+@given(data=st.data())
+@settings(max_examples=150, deadline=None)
+def test_evaluate_columnar_equals_row_dict_evaluate(data):
+    db = data.draw(databases())
+    expr = data.draw(expressions())
+    assert evaluate_columnar(expr, db) == evaluate(expr, db)
+
+
+@given(data=st.data())
+@settings(max_examples=120, deadline=None)
+def test_columnar_plan_equals_rows_plan_and_legacy(data):
+    db_c = data.draw(databases())
+    expr = data.draw(expressions())
+    # an identical twin database drives the reference engine so auxiliary
+    # state on both sides evolves from the same batches independently
+    db_r = Database()
+    for name in ("R", "S"):
+        db_r.create_relation(name, SCHEMAS[name], list(db_c.relation(name)))
+
+    plan_c = MaintenancePlan(expr, db_c, engine="columnar")
+    plan_r = MaintenancePlan(expr, db_r, engine="rows")
+
+    for _step in range(data.draw(st.integers(min_value=1, max_value=3))):
+        deltas = data.draw(base_deltas(db_c))
+        legacy = propagate_delta(expr, db_c, deltas)
+        out_c = plan_c.propagate(deltas)
+        out_r = plan_r.propagate(deltas)
+        assert out_c == out_r
+        assert out_c == legacy
+        db_c.apply_deltas(deltas)
+        db_r.apply_deltas(deltas)
+        plan_c.advance()
+        plan_r.advance()
+
+
+@given(data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_all_delete_deltas_drain_to_empty(data):
+    """Edge: a delta that deletes *everything* leaves both engines at the
+    empty view — exercises group death and aux-materialization draining."""
+    db = data.draw(databases(min_size=1))
+    expr = data.draw(expressions())
+    plan = MaintenancePlan(expr, db)
+    materialized = evaluate(expr, db)
+
+    wipe = {
+        name: Delta({row: -count for row, count in db.relation(name).counts()})
+        for name in ("R", "S")
+        if len(db.relation(name))
+    }
+    legacy = propagate_delta(expr, db, wipe)
+    planned = plan.propagate(wipe)
+    assert planned == legacy
+    db.apply_deltas(wipe)
+    plan.advance()
+    planned.apply_to(materialized)
+    assert materialized == evaluate(expr, db)
+    assert len(db.relation("R")) == 0 and len(db.relation("S")) == 0
+    # the engine keeps working after total drain
+    refill = {"R": Delta.insert(Row(A=1, B=1), 2)}
+    assert plan.propagate(refill) == propagate_delta(expr, db, refill)
+
+
+def test_empty_relations_everywhere():
+    """Edge: propagation over a fully empty database is the empty delta."""
+    db = Database()
+    db.create_relation("R", SCHEMAS["R"])
+    db.create_relation("S", SCHEMAS["S"])
+    expr = Project(
+        ("A", "C"),
+        Select(compare("C", "<", 3), Join(BaseRelation("R"), BaseRelation("S"))),
+    )
+    plan = MaintenancePlan(expr, db)
+    assert plan.propagate({}) == Delta()
+    deltas = {"R": Delta.insert(Row(A=1, B=1))}
+    assert plan.propagate(deltas) == Delta()  # still no S side to join
+    db.apply_deltas(deltas)
+    plan.advance()
+
+
+def test_duplicate_row_multiplicities_multiply_through_joins():
+    """Edge: counts multiply — 2 copies of the R row x 3 copies of the S
+    row must produce 6 copies of the joined row on both engines."""
+    db_c = Database()
+    db_c.create_relation("R", SCHEMAS["R"], [Row(A=1, B=1)] * 2)
+    db_c.create_relation("S", SCHEMAS["S"], [Row(B=1, C=1)] * 3)
+    db_r = Database()
+    db_r.create_relation("R", SCHEMAS["R"], [Row(A=1, B=1)] * 2)
+    db_r.create_relation("S", SCHEMAS["S"], [Row(B=1, C=1)] * 3)
+    expr = Join(BaseRelation("R"), BaseRelation("S"))
+    plan_c = MaintenancePlan(expr, db_c)
+    plan_r = MaintenancePlan(expr, db_r, engine="rows")
+
+    deltas = {"R": Delta.insert(Row(A=1, B=1), 2)}
+    out_c, out_r = plan_c.propagate(deltas), plan_r.propagate(deltas)
+    assert out_c == out_r
+    assert out_c.count(Row(A=1, B=1, C=1)) == 6

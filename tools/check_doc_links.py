@@ -1,10 +1,21 @@
 #!/usr/bin/env python
-"""Check that intra-repository markdown links resolve.
+"""Check that repository documentation references resolve.
 
-Scans every tracked ``*.md`` file for inline links and verifies that each
-relative target exists (anchors and external ``http(s)``/``mailto``
-links are skipped).  Exits non-zero listing every broken link — run by
-the ``docs`` CI job and usable locally:
+Scans every tracked ``*.md`` file and verifies three kinds of reference:
+
+* **markdown links** — each relative ``[text](target)`` must point at an
+  existing file (anchors and external ``http(s)``/``mailto`` links are
+  skipped);
+* **source paths** — any ``src/...`` path mentioned anywhere in a doc
+  (prose or fenced block) must exist in the tree, so renames can't leave
+  the docs pointing at ghosts;
+* **CLI commands** — any ``python -m repro <subcommand>`` invocation
+  must name a real subcommand, taken from the live argument parser
+  (``repro.cli.build_parser``), so the docs can't advertise commands the
+  CLI doesn't have.
+
+Exits non-zero listing every broken reference — run by the ``docs`` CI
+job and usable locally:
 
     python tools/check_doc_links.py
 """
@@ -19,6 +30,11 @@ from pathlib import Path
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 #: fenced code blocks, where link syntax is not a link
 _FENCE = re.compile(r"^(```|~~~)")
+#: paths into the source tree, wherever they appear
+_SRC_PATH = re.compile(r"\bsrc/[\w./-]+")
+#: CLI invocations; group 1 is the subcommand token (absent for bare
+#: ``python -m repro`` mentions, which argparse itself rejects)
+_CLI = re.compile(r"python -m repro\s+([a-z][a-z-]*)")
 
 SKIP_SCHEMES = ("http://", "https://", "mailto:", "#")
 
@@ -31,41 +47,72 @@ def iter_markdown(root: Path):
         yield path
 
 
-def broken_links(path: Path, root: Path) -> list[tuple[int, str]]:
+def cli_subcommands(root: Path) -> frozenset[str]:
+    """The real top-level subcommand names, from the live parser."""
+    sys.path.insert(0, str(root / "src"))
+    try:
+        from repro.cli import build_parser
+    finally:
+        sys.path.pop(0)
+    parser = build_parser()
+    for action in parser._subparsers._group_actions:  # noqa: SLF001
+        if action.choices:
+            return frozenset(action.choices)
+    raise RuntimeError("repro.cli.build_parser() has no subcommands")
+
+
+def broken_references(
+    path: Path, root: Path, subcommands: frozenset[str]
+) -> list[tuple[int, str]]:
     broken = []
     in_fence = False
     for lineno, line in enumerate(path.read_text().splitlines(), start=1):
         if _FENCE.match(line.strip()):
             in_fence = not in_fence
             continue
-        if in_fence:
-            continue
-        for target in _LINK.findall(line):
-            if target.startswith(SKIP_SCHEMES):
-                continue
-            relative = target.split("#", 1)[0]
-            if not relative:
-                continue
-            resolved = (root / relative if relative.startswith("/")
-                        else path.parent / relative)
-            if not resolved.exists():
-                broken.append((lineno, target))
+        if not in_fence:
+            # markdown links are only links outside fences
+            for target in _LINK.findall(line):
+                if target.startswith(SKIP_SCHEMES):
+                    continue
+                relative = target.split("#", 1)[0]
+                if not relative:
+                    continue
+                resolved = (root / relative if relative.startswith("/")
+                            else path.parent / relative)
+                if not resolved.exists():
+                    broken.append((lineno, f"broken link -> {target}"))
+        # source paths and CLI commands are checked everywhere: a fenced
+        # example referencing a ghost path is just as stale as prose
+        for match in _SRC_PATH.findall(line):
+            candidate = match.rstrip("./")
+            if candidate and not (root / candidate).exists():
+                broken.append((lineno, f"missing source path -> {match}"))
+        for sub in _CLI.findall(line):
+            if sub not in subcommands:
+                broken.append((
+                    lineno,
+                    f"unknown CLI subcommand -> python -m repro {sub} "
+                    f"(valid: {', '.join(sorted(subcommands))})",
+                ))
     return broken
 
 
 def main() -> int:
     root = Path(__file__).resolve().parent.parent
+    subcommands = cli_subcommands(root)
     failures = 0
     checked = 0
     for path in iter_markdown(root):
         checked += 1
-        for lineno, target in broken_links(path, root):
+        for lineno, message in broken_references(path, root, subcommands):
             failures += 1
-            print(f"{path.relative_to(root)}:{lineno}: broken link -> {target}")
+            print(f"{path.relative_to(root)}:{lineno}: {message}")
     if failures:
-        print(f"\n{failures} broken link(s) across {checked} markdown files")
+        print(f"\n{failures} broken reference(s) across {checked} markdown files")
         return 1
-    print(f"ok: all intra-repo links resolve ({checked} markdown files)")
+    print(f"ok: all links, src/ paths and CLI commands resolve "
+          f"({checked} markdown files)")
     return 0
 
 

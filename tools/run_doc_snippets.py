@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Execute the fenced ``python`` blocks of the documentation.
+
+The engine docs carry runnable examples (docs/engine.md "Executable
+examples", docs/performance.md) that double as facade-contract checks.
+This tool keeps them honest: every ```` ```python ```` block in the given
+files is executed, blocks within one file sharing a single namespace top
+to bottom (so later blocks may reuse earlier imports and objects, as
+literate docs do).  Blocks are compiled with their real file/line so an
+assertion failure points into the markdown.
+
+Run by the ``docs`` CI job and usable locally:
+
+    python tools/run_doc_snippets.py                 # the default doc set
+    python tools/run_doc_snippets.py docs/engine.md  # specific files
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import traceback
+from pathlib import Path
+
+DEFAULT_DOCS = ("docs/engine.md", "docs/performance.md")
+
+#: a fenced python block: ```python ... ``` (tilde fences are not used
+#: for executable examples)
+_BLOCK = re.compile(r"^```python[ \t]*\n(.*?)^```", re.M | re.S)
+
+
+def blocks_of(path: Path) -> list[tuple[int, str]]:
+    """(start line of the code, source) for each fenced python block."""
+    text = path.read_text()
+    found = []
+    for match in _BLOCK.finditer(text):
+        start_line = text.count("\n", 0, match.start(1)) + 1
+        found.append((start_line, match.group(1)))
+    return found
+
+
+def run_file(path: Path, root: Path) -> tuple[int, int]:
+    """Execute every block of one file; returns (blocks run, failures)."""
+    rel = path.relative_to(root)
+    namespace: dict = {"__name__": f"docsnippets::{rel}"}
+    ran = failed = 0
+    for start_line, source in blocks_of(path):
+        ran += 1
+        # pad so tracebacks report the line number within the markdown
+        padded = "\n" * (start_line - 1) + source
+        try:
+            exec(compile(padded, str(rel), "exec"), namespace)
+        except Exception:
+            failed += 1
+            print(f"FAIL {rel}: block at line {start_line}:")
+            traceback.print_exc()
+    return ran, failed
+
+
+def main(argv: list[str]) -> int:
+    root = Path(__file__).resolve().parent.parent
+    sys.path.insert(0, str(root / "src"))
+    paths = [root / arg for arg in argv] if argv else [
+        root / doc for doc in DEFAULT_DOCS
+    ]
+    total = failures = 0
+    for path in paths:
+        if not path.exists():
+            print(f"FAIL no such file: {path}")
+            failures += 1
+            continue
+        ran, failed = run_file(path, root)
+        total += ran
+        failures += failed
+        status = "ok" if not failed else f"{failed} FAILED"
+        print(f"{path.relative_to(root)}: {ran} block(s), {status}")
+    if failures:
+        print(f"\n{failures} failing snippet(s)")
+        return 1
+    print(f"ok: {total} documentation snippet(s) executed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
