@@ -15,6 +15,7 @@ study (see DESIGN.md's experiment index).  Each test
 from __future__ import annotations
 
 import json
+import time
 from pathlib import Path
 
 import pytest
@@ -90,11 +91,46 @@ def run_system(
     spec: WorkloadSpec,
 ) -> WarehouseSystem:
     """Build, feed and run one system; returns it finished."""
+    system, _ = timed_run_system(world, views, config, spec)
+    return system
+
+
+def timed_run_system(
+    world,
+    views,
+    config: SystemConfig,
+    spec: WorkloadSpec,
+) -> tuple[WarehouseSystem, float]:
+    """Like :func:`run_system`, also returning ``run()``'s wall seconds.
+
+    The timer brackets only the drain — build, seeding and stream posting
+    are excluded — so the number is comparable between the DES backend
+    (where ``run()`` burns CPU but no simulated resource waits) and the
+    wall-clock runtimes (where it includes real thread/process overlap).
+    """
     stream = UpdateStreamGenerator(world, spec).transactions()
     system = WarehouseSystem(world, views, config)
     post_stream(system, stream)
+    start = time.perf_counter()
     system.run()
-    return system
+    return system, time.perf_counter() - start
+
+
+def wall_clock_section(system: WarehouseSystem, wall_seconds: float) -> dict:
+    """The standard ``wall_clock`` block for bench_out artifacts.
+
+    Reports real events/second next to the simulated-time throughput so
+    artifacts distinguish "cheap in virtual time" from "cheap on the
+    machine" (docs/performance.md describes both axes).
+    """
+    events = system.sim.events_executed
+    return {
+        "wall_seconds": round(wall_seconds, 4),
+        "events_executed": events,
+        "wall_events_per_sec": round(events / wall_seconds, 1)
+        if wall_seconds > 0 else None,
+        "sim_throughput": round(system.metrics().throughput, 4),
+    }
 
 
 def fmt_table(headers: list[str], rows: list[list[object]]) -> str:

@@ -40,7 +40,7 @@ from repro.system.config import SystemConfig
 from repro.workloads.generator import WorkloadSpec
 from repro.workloads.schemas import clustered_views, clustered_world
 
-from benchmarks.conftest import fmt_table, run_system
+from benchmarks.conftest import fmt_table, timed_run_system, wall_clock_section
 
 CLUSTERS = 36
 VIEWS_PER_CLUSTER = 3  # 108 views total
@@ -54,7 +54,7 @@ MQO_BATCHES = 40
 def run_sharded(shards: int):
     spec = WorkloadSpec(updates=UPDATES, rate=40.0, seed=11,
                         arrivals="poisson", mix=(0.6, 0.2, 0.2))
-    return run_system(
+    return timed_run_system(
         clustered_world(CLUSTERS),
         clustered_views(CLUSTERS, VIEWS_PER_CLUSTER),
         SystemConfig(
@@ -79,7 +79,7 @@ def test_b21_sharded_merge_throughput(benchmark, report, bench_out):
     )
 
     arms = {}
-    for shards, system in results.items():
+    for shards, (system, wall) in results.items():
         metrics = system.metrics()
         merge_util = max(
             metrics.process(m.name).utilisation
@@ -91,6 +91,7 @@ def test_b21_sharded_merge_throughput(benchmark, report, bench_out):
             "throughput": metrics.throughput,
             "max_merge_utilisation": merge_util,
             "mvc_complete": bool(system.check_mvc("complete")),
+            "wall_clock": wall_clock_section(system, wall),
         }
 
     speedup = arms[8]["throughput"] / arms[1]["throughput"]
@@ -133,6 +134,7 @@ def test_b21_sharded_merge_throughput(benchmark, report, bench_out):
                     arm["max_merge_utilisation"], 4
                 ),
                 "mvc_complete": arm["mvc_complete"],
+                "wall_clock": arm["wall_clock"],
             }
             for shards, arm in arms.items()
         },

@@ -112,3 +112,51 @@ def test_b9_pa_event_processing_batched(benchmark, bench_out):
     assert units > 0
     _emit(bench_out, "pa_events_batched", benchmark,
           "per-round cost of PA with batch-2 action lists")
+
+
+def test_b9_kernel_fast_path_guard(benchmark, bench_out):
+    """The laneless hot-loop fast path must not be slower than the
+    general path it bypasses (``Simulator._push`` skips ``adjust()`` and
+    the lane-clamp bookkeeping only under the exact default Scheduler).
+    Timing guard is loose (0.9x) — this catches the fast path rotting
+    into a pessimisation, not micro-regressions."""
+    import time
+
+    from repro.sim.kernel import Simulator
+    from repro.sim.scheduler import Scheduler
+
+    class TrivialScheduler(Scheduler):
+        """Same behaviour, different type: forces the general path."""
+
+    events = 20_000
+
+    def drive(sim):
+        noop = lambda: None
+        start = time.perf_counter()
+        for i in range(events):
+            sim.schedule(float(i % 7), noop)
+        sim.run()
+        return time.perf_counter() - start
+
+    def both():
+        return drive(Simulator()), drive(Simulator(scheduler=TrivialScheduler()))
+
+    fast_s, slow_s = benchmark.pedantic(both, rounds=3, iterations=1)
+    fast_rate, slow_rate = events / fast_s, events / slow_s
+
+    bench_out("b9_kernel_fast_path", {
+        "benchmark": "b9_kernel_fast_path",
+        "question": "does the laneless default-scheduler fast path beat "
+                    "the general scheduling path?",
+        "units": "events_per_wall_second",
+        "arms": {
+            "fast_path": {"events_per_sec": round(fast_rate)},
+            "general_path": {"events_per_sec": round(slow_rate)},
+        },
+        "ratio": round(fast_rate / slow_rate, 3),
+    })
+
+    assert fast_rate >= 0.9 * slow_rate, (
+        f"fast path ({fast_rate:.0f} ev/s) fell behind the general path "
+        f"({slow_rate:.0f} ev/s) — the bypass is now a pessimisation"
+    )

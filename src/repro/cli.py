@@ -53,6 +53,7 @@ from repro.system.builder import WarehouseSystem
 from repro.system.config import (
     MANAGER_KINDS,
     MERGE_ALGORITHMS,
+    RUNTIMES,
     SUBMISSION_POLICIES,
     SystemConfig,
 )
@@ -184,12 +185,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     world_factory = lambda: SCHEMAS[args.schema]()[0]  # noqa: E731
     views_factory = lambda: SCHEMAS[args.schema]()[1]  # noqa: E731
+    _check_runtime_flags(args)
     variants = {}
     for kind in args.variants.split(","):
         kind = kind.strip()
         if kind not in MANAGER_KINDS:
             raise SystemExit(f"unknown manager kind {kind!r}")
-        variants[kind] = SystemConfig(manager_kind=kind, seed=args.seed)
+        variants[kind] = SystemConfig(
+            manager_kind=kind,
+            runtime=args.runtime,
+            workers=args.workers,
+            seed=args.seed,
+        )
     spec = WorkloadSpec(
         updates=args.updates,
         rate=args.rate,
@@ -218,6 +225,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if all(r.verified for r in rows) else 1
 
 
+def _check_runtime_flags(args: argparse.Namespace) -> None:
+    if args.workers is not None and args.runtime == "des":
+        raise SystemExit(
+            "--workers only applies to parallel runtimes; "
+            "pick --runtime threads or --runtime procs"
+        )
+
+
 def _build_and_run(args: argparse.Namespace) -> WarehouseSystem:
     """Assemble + drive one system from run/inspect-style flags."""
     world, views = SCHEMAS[args.schema]()
@@ -225,6 +240,7 @@ def _build_and_run(args: argparse.Namespace) -> WarehouseSystem:
         from repro.relational.catalog import load_views
 
         views = load_views(args.views_file)
+    _check_runtime_flags(args)
     config = SystemConfig(
         manager_kind=args.manager,
         merge_algorithm=args.algorithm,
@@ -234,6 +250,8 @@ def _build_and_run(args: argparse.Namespace) -> WarehouseSystem:
         use_selection_filtering=args.filtering,
         warehouse_executors=args.executors,
         merge_message_cost=args.merge_cost,
+        runtime=args.runtime,
+        workers=args.workers,
         seed=args.seed,
     )
     spec = WorkloadSpec(
@@ -269,6 +287,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     report = system.check_mvc("auto")
     print(f"verification: {'OK' if report else 'FAILED — ' + report.reason}")
     _write_trace_out(system, args.trace_out)
+    system.close()
     return 0 if report else 1
 
 
@@ -307,6 +326,7 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
         print(system.sim.metrics.format(prefix))
 
     _write_trace_out(system, args.trace_out)
+    system.close()
     return 0
 
 
@@ -322,6 +342,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     trace = sub.add_parser("trace", help="replay a worked example's VUT trace")
     trace.add_argument("example", choices=sorted(_TRACES))
+
+    def add_runtime_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--runtime", choices=RUNTIMES, default="des",
+                       help="execution backend: des (virtual time, default), "
+                       "threads (wall clock, worker threads), procs (threads "
+                       "+ per-shard compute processes); see docs/runtime.md")
+        p.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="worker-fleet size for parallel runtimes "
+                       "(default: the machine's core count; rejected "
+                       "under --runtime des)")
 
     def add_system_flags(p: argparse.ArgumentParser,
                          updates: int = 100) -> None:
@@ -340,6 +370,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--filtering", action="store_true",
                        help="enable selection-condition relevance filtering")
+        add_runtime_flags(p)
         p.add_argument("--trace-out", default=None, metavar="PATH",
                        help="write the run's trace; format from extension "
                        "(.json Perfetto, .jsonl event log, .txt timeline)")
@@ -375,6 +406,7 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument("--updates", type=int, default=80)
     swp.add_argument("--rate", type=float, default=2.0)
     swp.add_argument("--seed", type=int, default=0)
+    add_runtime_flags(swp)
     swp.add_argument("--trace-out", default=None, metavar="PATH",
                      help="write one trace file per variant "
                      "(trace.json -> trace-<variant>.json)")

@@ -40,6 +40,7 @@ from repro.consistency.mvc import check_mvc_convergent
 from repro.consistency.ordered import check_mvc_ordered
 from repro.consistency.states import source_view_values
 from repro.errors import ReproError
+from repro.merge.sharding import groups_by_shard
 from repro.system.builder import WarehouseSystem
 
 #: total order on achievable levels (broken managers promise nothing).
@@ -170,10 +171,8 @@ def check_run(system: WarehouseSystem) -> list[Violation]:
     # the executable form of that argument — a violation scoped
     # ``shard:mergeN`` means the partitioning itself leaked consistency.
     if len(system.merge_processes) > 1:
-        shards: dict[str, list[str]] = {}
-        for view, merge_name in system.view_to_merge.items():
-            shards.setdefault(merge_name, []).append(view)
-        for merge_name, shard_views in sorted(shards.items()):
+        shards = groups_by_shard(system.view_to_merge)
+        for merge_name, shard_views in shards.items():
             level: str | None = "complete"
             for view in shard_views:
                 level = _weaker(level, view_levels[view])
@@ -218,6 +217,60 @@ def check_run(system: WarehouseSystem) -> list[Violation]:
     return violations
 
 
+@dataclass(frozen=True)
+class RealRunReport:
+    """The conformance verdict on one wall-clock (parallel-runtime) run.
+
+    ``digest`` is the run's observable history reduced to the same
+    SHA-256 the explorer pins its reproducers with
+    (:meth:`~repro.sim.tracing.Trace.digest`) — two real runs with equal
+    digests had byte-for-byte identical observable histories, and a
+    digest plus an empty ``violations`` tuple certifies that this
+    particular interleaving lies inside the schedule space the oracle
+    accepts.
+    """
+
+    runtime: str
+    digest: str
+    events: int
+    violations: tuple[Violation, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def __str__(self) -> str:
+        verdict = (
+            "conformant"
+            if self.ok
+            else "; ".join(str(v) for v in self.violations)
+        )
+        return (
+            f"[{self.runtime}] {self.events} events, "
+            f"digest {self.digest[:12]}…: {verdict}"
+        )
+
+
+def check_real_run(system: WarehouseSystem) -> RealRunReport:
+    """Validate a finished run on *any* runtime with the full oracle.
+
+    The per-view, pairwise, per-shard and fleet checks of
+    :func:`check_run` are all history-level — they read the warehouse
+    state sequence and the integrator's numbering, never the clock — so
+    the same promises are checkable whether the history came from the
+    DES kernel or from real threads/processes.  This is the anchor the
+    parallel runtimes are held to: every interleaving the hardware
+    produces must keep the configuration's advertised MVC level, exactly
+    like every schedule the explorer enumerates.
+    """
+    return RealRunReport(
+        runtime=system.config.runtime,
+        digest=system.sim.trace.digest(),
+        events=system.sim.events_executed,
+        violations=tuple(check_run(system)),
+    )
+
+
 def check_run_at(system: WarehouseSystem, level: str) -> list[Violation]:
     """Check the whole fleet at an explicit ``level`` (negative oracles).
 
@@ -248,7 +301,9 @@ def check_run_at(system: WarehouseSystem, level: str) -> list[Violation]:
 __all__ = [
     "LEVEL_ORDER",
     "MANAGER_LEVELS",
+    "RealRunReport",
     "Violation",
+    "check_real_run",
     "check_run",
     "check_run_at",
     "effective_view_levels",

@@ -203,6 +203,19 @@ class ShardRouter:
         return out
 
 
+def groups_by_shard(view_to_merge: Mapping[str, str]) -> dict[str, tuple[str, ...]]:
+    """Invert a view → merge-process routing map into per-shard view tuples.
+
+    The canonical grouping every per-shard consumer (the conformance
+    oracle's ``shard:`` checks, the procs runtime's compute fleet, the
+    MQO report) needs: shard names sorted, each shard's views sorted.
+    """
+    shards: dict[str, list[str]] = {}
+    for view, merge_name in view_to_merge.items():
+        shards.setdefault(merge_name, []).append(view)
+    return {name: tuple(sorted(views)) for name, views in sorted(shards.items())}
+
+
 def shard_view_groups(
     definitions: Sequence[ViewDefinition],
     shards: int,
@@ -243,6 +256,7 @@ def shard_view_groups(
 __all__ = [
     "ShardAssignment",
     "ShardRouter",
+    "groups_by_shard",
     "shard_view_groups",
     "stable_hash",
 ]

@@ -28,6 +28,7 @@ Design notes:
 
 from __future__ import annotations
 
+import threading as _threading
 from typing import Iterator, Mapping
 
 
@@ -198,13 +199,75 @@ class Histogram(Metric):
         }
 
 
+class _LockedCounter(Counter):
+    """Counter whose increments are serialised (parallel runtimes)."""
+
+    __slots__ = ("_lock",)
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...]) -> None:
+        super().__init__(name, labels)
+        self._lock = _threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            super().inc(amount)
+
+
+class _LockedGauge(Gauge):
+    """Gauge whose samples are serialised (parallel runtimes)."""
+
+    __slots__ = ("_lock",)
+
+    def __init__(
+        self,
+        name: str,
+        labels: tuple[tuple[str, str], ...],
+        timeline: bool = False,
+    ) -> None:
+        super().__init__(name, labels, timeline=timeline)
+        self._lock = _threading.Lock()
+
+    def set(self, value: float, at: float | None = None) -> None:
+        with self._lock:
+            super().set(value, at=at)
+
+
+class _LockedHistogram(Histogram):
+    """Histogram whose observations are serialised (parallel runtimes)."""
+
+    __slots__ = ("_lock",)
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...]) -> None:
+        super().__init__(name, labels)
+        self._lock = _threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            super().observe(value)
+
+
+#: plain instrument class -> its locked twin (``locked=True`` registries)
+_LOCKED = {Counter: _LockedCounter, Gauge: _LockedGauge,
+           Histogram: _LockedHistogram}
+
+
 class MetricsRegistry:
-    """Get-or-create home for every instrument of one simulation run."""
+    """Get-or-create home for every instrument of one simulation run.
 
-    __slots__ = ("_metrics",)
+    With ``locked=True`` every instrument's mutators are serialised by a
+    per-instrument lock and get-or-create itself is guarded, so processes
+    sharing an instrument across worker threads (the wall-clock runtimes,
+    :mod:`repro.runtime`) record without read-modify-write races.  The
+    default stays lock-free: the DES kernel is single-threaded and its
+    instrument updates sit on the simulation hot path.
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("_metrics", "_locked", "_lock")
+
+    def __init__(self, locked: bool = False) -> None:
         self._metrics: dict[tuple[str, tuple[tuple[str, str], ...]], Metric] = {}
+        self._locked = locked
+        self._lock = _threading.Lock() if locked else None
 
     @staticmethod
     def _label_key(labels: Mapping[str, str]) -> tuple[tuple[str, str], ...]:
@@ -213,9 +276,19 @@ class MetricsRegistry:
     def _get_or_create(self, cls: type, name: str, labels: Mapping[str, str],
                        **kwargs: object) -> Metric:
         key = (name, self._label_key(labels))
+        if self._lock is None:
+            return self._create(cls, name, key, **kwargs)
+        with self._lock:
+            return self._create(cls, name, key, **kwargs)
+
+    def _create(self, cls: type, name: str,
+                key: tuple[str, tuple[tuple[str, str], ...]],
+                **kwargs: object) -> Metric:
         metric = self._metrics.get(key)
         if metric is None:
-            metric = cls(name, key[1], **kwargs)
+            metric = (_LOCKED[cls] if self._locked else cls)(
+                name, key[1], **kwargs
+            )
             self._metrics[key] = metric
         elif not isinstance(metric, cls):
             raise TypeError(

@@ -1,0 +1,40 @@
+"""Execution runtimes: who runs the process graph (see docs/runtime.md).
+
+* ``des``     — the discrete-event :class:`~repro.sim.kernel.Simulator`,
+  virtual time, bit-for-bit deterministic (the default).
+* ``threads`` — :class:`~repro.runtime.parallel.ParallelKernel`: every
+  process executes on a worker-thread fleet under a monotonic wall clock.
+* ``procs``   — threads plus forked per-shard compute servers running the
+  columnar maintenance probes on real cores
+  (:mod:`repro.runtime.procpool`).
+
+Pick with ``SystemConfig(runtime=..., workers=...)`` or
+``python -m repro run --runtime threads --workers 4``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import ReproError
+from repro.runtime.base import DesRuntime, Runtime
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.system.config import SystemConfig
+
+
+def create_runtime(config: "SystemConfig") -> Runtime:
+    """The runtime a configuration asks for (validated by the config)."""
+    if config.runtime == "des":
+        return DesRuntime(config)
+    # Imported lazily: DES-only runs never pay for threading machinery.
+    from repro.runtime.parallel import ProcsRuntime, ThreadsRuntime
+
+    if config.runtime == "threads":
+        return ThreadsRuntime(config)
+    if config.runtime == "procs":
+        return ProcsRuntime(config)
+    raise ReproError(f"unknown runtime {config.runtime!r}")
+
+
+__all__ = ["DesRuntime", "Runtime", "create_runtime"]

@@ -1,0 +1,68 @@
+"""The runtime interface: who executes the process graph, and how.
+
+A :class:`~repro.system.builder.WarehouseSystem` is a graph of
+:class:`~repro.sim.process.Process` objects wired by FIFO
+:class:`~repro.sim.network.Channel`\\ s.  Historically the only executor
+was the discrete-event :class:`~repro.sim.kernel.Simulator`; this package
+factors "who runs the events" behind :class:`Runtime` so the identical
+process graph can also execute on real cores under a wall clock
+(:mod:`repro.runtime.parallel`).
+
+A runtime owns a *kernel* — the object every process and channel holds as
+``self.sim``.  Kernels duck-type the simulator surface (``now``, ``rng``,
+``trace``, ``metrics``, ``schedule``, ``schedule_at``, ``run``, ...), so
+the rest of the codebase never branches on the execution substrate; the
+builder just asks :func:`repro.runtime.create_runtime` for the configured
+backend and hands its kernel to every component.
+
+Lifecycle: construct → (builder wires the system) → :meth:`start` once
+the system is fully built and seeded → any number of ``kernel.run()``
+drains → :meth:`close`.  ``start`` exists because the process-pool
+backend must fork its compute servers *after* replicas are seeded but
+*before* any worker thread is spawned (forking a threaded process is
+unsafe); the DES and thread backends need no such hook.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sim.kernel import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.system.builder import WarehouseSystem
+    from repro.system.config import SystemConfig
+
+
+class Runtime:
+    """Abstract execution substrate for one warehouse system."""
+
+    #: the ``SystemConfig.runtime`` name this class implements
+    name = "abstract"
+
+    @property
+    def kernel(self):
+        """The simulator-shaped object processes schedule against."""
+        raise NotImplementedError
+
+    def start(self, system: "WarehouseSystem") -> None:
+        """Post-build hook: the system is wired and seeded, not yet run."""
+
+    def close(self) -> None:
+        """Release external resources (worker processes); idempotent."""
+
+
+class DesRuntime(Runtime):
+    """The historical backend: one thread, virtual time, bit-for-bit
+    deterministic.  A thin wrapper — the :class:`Simulator` is unchanged,
+    so golden trace digests recorded before the runtime split still hold.
+    """
+
+    name = "des"
+
+    def __init__(self, config: "SystemConfig") -> None:
+        self._kernel = Simulator(seed=config.seed, scheduler=config.scheduler)
+
+    @property
+    def kernel(self) -> Simulator:
+        return self._kernel

@@ -1,0 +1,399 @@
+"""Wall-clock execution of the process graph on worker threads.
+
+:class:`ParallelKernel` duck-types the :class:`~repro.sim.kernel.Simulator`
+surface, but instead of a virtual-time event heap it routes every
+scheduled callback to the *home worker* of the process the callback
+belongs to, where a dedicated thread executes it as soon as it reaches
+the front of that worker's :class:`Mailbox`.
+
+Why this preserves the simulator's correctness contract:
+
+* **Per-process serialization.**  Every event of one process executes on
+  one worker thread, in mailbox order.  Processes mutate their own state
+  only from their own events (the :class:`~repro.sim.process.Process`
+  mailbox/service loop schedules everything through ``self.sim``), so no
+  process ever needs a lock — exactly the actor discipline the DES kernel
+  provided by being single-threaded.
+* **Per-lane FIFO.**  A channel's deliveries are scheduled by its source
+  process — i.e. from one thread — and appended to the destination's
+  mailbox in send order.  FIFO mailboxes therefore preserve the paper's
+  §4 ordering assumption ("messages from the same process arrive in the
+  order sent") without any clamp arithmetic.
+* **Wall-clock time.**  ``now`` is seconds of real time since the kernel
+  was created.  Virtual delays (latency models, service times) map to
+  zero wall time: the event is enqueued immediately and runs when its
+  worker gets to it.  Real concurrency replaces simulated waiting, which
+  is the point — trace timestamps and metrics windows become honest
+  hardware numbers.
+
+Events scheduled *before* ``run()`` (the posted workload) are staged and
+injected in ``(virtual time, submission order)`` order at startup, so
+each source still fires its transactions in workload order.
+
+What this kernel deliberately does **not** support — enforced by
+``SystemConfig.validate`` and kept here as a second line of defence —
+is anything whose semantics are inherently virtual-time: ``run(until=…)``
+horizons, ``max_events`` caps, single-stepping, schedule-perturbing
+:class:`~repro.sim.scheduler.Scheduler` subclasses, fault plans (timers
+for retransmission backoff), and periodic managers (a zero-delay
+self-rescheduling timer would spin forever).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import threading
+import time
+from collections import deque
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import SimulationError
+from repro.obs.registry import MetricsRegistry
+from repro.runtime.base import Runtime
+from repro.sim.scheduler import Scheduler
+from repro.sim.tracing import ThreadSafeTrace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.system.builder import WarehouseSystem
+    from repro.system.config import SystemConfig
+
+#: sentinel telling a worker thread to exit its loop
+_STOP = object()
+
+
+class Mailbox:
+    """A FIFO queue feeding one worker thread, optionally bounded.
+
+    With ``capacity=None`` (the default) puts never block.  A bounded
+    mailbox exerts backpressure: ``put`` blocks until space frees, and
+    raises after ``timeout`` seconds — the system's message graph is
+    cyclic (merge ↔ warehouse), so a full mailbox on every process of a
+    cycle cannot drain and must surface as an error, not a silent hang.
+    """
+
+    def __init__(self, capacity: int | None = None, name: str = "") -> None:
+        if capacity is not None and capacity < 1:
+            raise SimulationError(f"mailbox capacity must be >= 1, got {capacity}")
+        self.name = name
+        self._capacity = capacity
+        self._items: deque = deque()
+        self._ready = threading.Condition()
+
+    def __len__(self) -> int:
+        with self._ready:
+            return len(self._items)
+
+    def put(self, item: object, timeout: float | None = None) -> None:
+        with self._ready:
+            if self._capacity is not None:
+                deadline = None if timeout is None else time.monotonic() + timeout
+                while len(self._items) >= self._capacity:
+                    remaining = (
+                        None if deadline is None else deadline - time.monotonic()
+                    )
+                    if remaining is not None and remaining <= 0:
+                        raise SimulationError(
+                            f"mailbox {self.name!r} stayed full for {timeout}s "
+                            f"(capacity {self._capacity}); a bounded run can "
+                            f"deadlock on message cycles — raise the capacity "
+                            f"or run unbounded"
+                        )
+                    self._ready.wait(remaining)
+            self._items.append(item)
+            self._ready.notify()
+
+    def get(self) -> object:
+        with self._ready:
+            while not self._items:
+                self._ready.wait()
+            item = self._items.popleft()
+            if self._capacity is not None:
+                self._ready.notify()
+            return item
+
+
+class ParallelKernel:
+    """A simulator-shaped executor backed by worker threads.
+
+    Worker threads are created per :meth:`run` call and joined before it
+    returns, so between runs (and at build/seed time) the kernel is
+    strictly single-threaded — which is what lets the process-pool
+    runtime fork safely before the first run.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        workers: int | None = None,
+        mailbox_capacity: int | None = None,
+        timeout: float = 60.0,
+    ) -> None:
+        import os
+
+        self.rng = random.Random(seed)
+        self.trace = ThreadSafeTrace()
+        self.metrics = MetricsRegistry(locked=True)
+        # Introspection parity with Simulator; never consulted for order.
+        self.scheduler = Scheduler()
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        if self.workers < 1:
+            raise SimulationError(f"workers must be >= 1, got {self.workers}")
+        self._mailbox_capacity = mailbox_capacity
+        self._timeout = timeout
+        self._sequence = itertools.count()
+        # (virtual time, seq, bound callback, home key) staged before run()
+        self._staged: list[tuple[float, int, Callable[[], None], object]] = []
+        self._homes: dict[int, int] = {}
+        self._next_home = 0
+        self._mailboxes: list[Mailbox] = []
+        self._running = False
+        self._pending = 0
+        self._events_executed = 0
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._failure: BaseException | None = None
+        self._t0 = time.monotonic()
+
+    # -- simulator surface ---------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Wall-clock seconds since the kernel was created."""
+        return time.monotonic() - self._t0
+
+    @property
+    def events_executed(self) -> int:
+        return self._events_executed
+
+    @property
+    def pending_events(self) -> int:
+        with self._lock:
+            return self._pending
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: object,
+        lane: object = None,
+        ordered: bool = True,
+    ) -> None:
+        """Virtual ``delay`` maps to "as soon as the home worker is free"."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        self._submit(self.now + delay, callback, args)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        *args: object,
+        lane: object = None,
+        ordered: bool = True,
+    ) -> None:
+        """Before ``run()``: stage at virtual ``time``.  During: enqueue now.
+
+        The ``lane`` tag is accepted for interface parity but unused —
+        FIFO comes from single-sender mailbox order, not a clamp.
+        """
+        self._submit(time, callback, args)
+
+    def step(self) -> bool:
+        raise SimulationError(
+            "the parallel runtime cannot single-step; use runtime='des' "
+            "for event-by-event execution"
+        )
+
+    # -- routing -------------------------------------------------------------
+    @staticmethod
+    def _home_key(callback: Callable[..., None]) -> object:
+        """The object whose state the callback mutates (its actor).
+
+        Bound methods of a :class:`Process` belong to that process;
+        a channel's ``_deliver`` belongs to the channel's *destination*
+        (delivery appends to the destination's inbox).  Unbound
+        callables fall back to a shared default worker.
+        """
+        target = getattr(callback, "__self__", None)
+        if target is None:
+            return None
+        destination = getattr(target, "destination", None)
+        return destination if destination is not None else target
+
+    def _worker_index(self, key: object) -> int:
+        # Caller holds self._lock.
+        if key is None:
+            return 0
+        index = self._homes.get(id(key))
+        if index is None:
+            index = self._next_home % self.workers
+            self._next_home += 1
+            self._homes[id(key)] = index
+        return index
+
+    def _submit(
+        self, when: float, callback: Callable[..., None], args: tuple
+    ) -> None:
+        bound = (lambda: callback(*args)) if args else callback
+        key = self._home_key(callback)
+        with self._lock:
+            if self._failure is not None:
+                return  # the run is already aborting; drop quietly
+            seq = next(self._sequence)
+            self._pending += 1
+            if not self._running:
+                self._staged.append((when, seq, bound, key))
+                return
+            index = self._worker_index(key)
+        try:
+            self._mailboxes[index].put(bound, timeout=self._timeout)
+        except SimulationError:
+            with self._lock:
+                self._pending -= 1
+            raise
+
+    # -- worker loop -----------------------------------------------------------
+    def _worker_loop(self, mailbox: Mailbox) -> None:
+        while True:
+            item = mailbox.get()
+            if item is _STOP:
+                return
+            failed = False
+            try:
+                if self._failure is None:  # after a failure: drain, don't run
+                    item()  # type: ignore[operator]
+            except BaseException as exc:  # noqa: BLE001 - reported by run()
+                failed = True
+                failure = exc
+            with self._idle:
+                if failed and self._failure is None:
+                    self._failure = failure
+                self._pending -= 1
+                self._events_executed += 1
+                if self._pending == 0:
+                    self._idle.notify_all()
+
+    # -- run to quiescence -----------------------------------------------------
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Execute until no event is pending anywhere; returns the count.
+
+        ``until``/``max_events`` are virtual-time bounds and unsupported
+        here — a wall-clock run has no event horizon to stop at.
+        """
+        if until is not None or max_events is not None:
+            raise SimulationError(
+                "the parallel runtime runs to quiescence only; "
+                "run(until=...) / run(max_events=...) need runtime='des'"
+            )
+        if self._running:
+            raise SimulationError("run() called re-entrantly from an event handler")
+
+        with self._lock:
+            staged = sorted(self._staged, key=lambda entry: (entry[0], entry[1]))
+            self._staged.clear()
+            self._failure = None
+            self._mailboxes = [
+                Mailbox(self._mailbox_capacity, name=f"worker{i}")
+                for i in range(self.workers)
+            ]
+            self._running = True
+            executed_before = self._events_executed
+
+        threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                args=(mailbox,),
+                name=f"repro-{mailbox.name}",
+                daemon=True,
+            )
+            for mailbox in self._mailboxes
+        ]
+        for thread in threads:
+            thread.start()
+
+        try:
+            # Inject the pre-run workload in (virtual time, post order):
+            # each source's transactions reach its home worker in workload
+            # order, so per-source FIFO survives the clock swap.
+            for _when, _seq, bound, key in staged:
+                with self._lock:
+                    index = self._worker_index(key)
+                self._mailboxes[index].put(bound, timeout=self._timeout)
+
+            deadline = (
+                None if self._timeout is None else time.monotonic() + self._timeout
+            )
+            with self._idle:
+                while self._pending > 0 and self._failure is None:
+                    if deadline is not None and time.monotonic() > deadline:
+                        raise SimulationError(
+                            f"parallel run made no quiescence within "
+                            f"{self._timeout}s; {self._pending} event(s) "
+                            f"still pending (hung worker?)"
+                        )
+                    self._idle.wait(0.05)
+        finally:
+            for mailbox in self._mailboxes:
+                mailbox.put(_STOP)
+            for thread in threads:
+                thread.join(timeout=self._timeout)
+            with self._lock:
+                self._running = False
+                self._mailboxes = []
+
+        if self._failure is not None:
+            raise self._failure
+        return self._events_executed - executed_before
+
+
+class ThreadsRuntime(Runtime):
+    """Every process executes on a worker-thread fleet under a wall clock."""
+
+    name = "threads"
+
+    def __init__(self, config: "SystemConfig") -> None:
+        self._kernel = ParallelKernel(
+            seed=config.seed,
+            workers=config.workers,
+            mailbox_capacity=config.mailbox_capacity,
+            timeout=config.runtime_timeout,
+        )
+
+    @property
+    def kernel(self) -> ParallelKernel:
+        return self._kernel
+
+
+class ProcsRuntime(ThreadsRuntime):
+    """Threads runtime plus a forked compute-server fleet for view plans.
+
+    The GIL serialises the thread fleet's pure-python maintenance work, so
+    this mode moves the expensive part — the columnar
+    :meth:`~repro.relational.plan.MaintenancePlan.propagate_counts` probe
+    — into per-merge-shard OS processes (:mod:`repro.runtime.procpool`).
+    Tuple batches pickle cheaply; the calling view-manager thread blocks
+    on the pipe with the GIL released, so shards genuinely overlap on
+    real cores.
+    """
+
+    name = "procs"
+
+    def __init__(self, config: "SystemConfig") -> None:
+        super().__init__(config)
+        self._fleet = None
+
+    def start(self, system: "WarehouseSystem") -> None:
+        from repro.runtime.procpool import start_compute_fleet
+
+        # Fork now: replicas are seeded, and no worker thread exists yet
+        # (ParallelKernel only spawns threads inside run()).
+        self._fleet = start_compute_fleet(
+            system,
+            workers=system.config.workers,
+            timeout=system.config.runtime_timeout,
+        )
+
+    def close(self) -> None:
+        if self._fleet is not None:
+            self._fleet.stop()
+            self._fleet = None

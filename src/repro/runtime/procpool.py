@@ -1,0 +1,253 @@
+"""Per-shard compute servers: view maintenance on real cores.
+
+The ``procs`` runtime keeps the process graph on worker threads (the
+messaging layer is cheap) but moves the expensive step — the columnar
+:meth:`~repro.relational.plan.MaintenancePlan.propagate_counts` probe of
+each cached view manager — into forked OS processes, one per merge
+shard.  The shard is the natural unit: §6.1 guarantees shards share no
+base relation, so each server owns its views' replicas and plans
+outright and never coordinates with a sibling.
+
+Wire protocol (one ``multiprocessing.Pipe`` per server, requests
+serialised by a parent-side lock):
+
+    ("propagate", view, {relation: {value_tuple: count}})
+        -> ("ok", {value_tuple: count})   # the view delta, root layout
+        -> ("err", "ExcType: message")
+    ("stop",) -> server exits
+
+Batches cross the pipe as layout-positioned tuple bags — the same raw
+form ``propagate_counts`` takes — so no :class:`~repro.relational.rows.Row`
+objects are ever pickled.  The parent-side :class:`RemoteViewPlan` does
+the facade conversion at both edges and plugs into
+:meth:`~repro.viewmgr.base.ViewManager.use_remote_plan`.
+
+Fork discipline: servers inherit the already-seeded replicas and compiled
+plans by ``fork`` (the view predicates hold lambdas, which never pickle),
+so the fleet MUST start before any worker thread exists.
+:meth:`~repro.runtime.parallel.ProcsRuntime.start` runs after the builder
+seeds the system and before the kernel's first ``run()`` — the only
+window in which both constraints hold.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from typing import TYPE_CHECKING, Mapping
+
+from repro.errors import SimulationError
+from repro.relational.columnar import counts_to_rows, layout_of, rows_to_counts
+from repro.relational.delta import Delta
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.relational.plan import MaintenancePlan
+    from repro.system.builder import WarehouseSystem
+    from repro.viewmgr.base import ViewManager
+
+
+def _serve_shard(conn, plans: dict, replicas: dict, base_layouts: dict) -> None:
+    """Child main loop: propagate/advance each view on request."""
+    try:
+        while True:
+            request = conn.recv()
+            if request[0] == "stop":
+                return
+            _kind, view, raw = request
+            try:
+                plan = plans[view]
+                delta = plan.propagate_counts(raw)
+                out = dict(delta.counts())
+                replicas[view].apply_deltas(
+                    {
+                        relation: Delta(
+                            counts_to_rows(base_layouts[view][relation], counts)
+                        )
+                        for relation, counts in raw.items()
+                    }
+                )
+                plan.advance()
+                conn.send(("ok", out))
+            except Exception as exc:  # noqa: BLE001 - relayed to the parent
+                conn.send(("err", f"{type(exc).__name__}: {exc}"))
+    except (EOFError, KeyboardInterrupt):  # parent died / interrupted
+        return
+
+
+class ComputeServer:
+    """Parent-side handle on one forked shard server."""
+
+    def __init__(
+        self,
+        shard: str,
+        managers: "list[ViewManager]",
+        timeout: float,
+        context,
+    ) -> None:
+        self.shard = shard
+        self.views = tuple(m.view for m in managers)
+        self._timeout = timeout
+        self._lock = threading.Lock()
+        parent_conn, child_conn = context.Pipe()
+        self._conn = parent_conn
+        plans = {m.view: m._plan for m in managers}
+        replicas = {m.view: m._replica for m in managers}
+        base_layouts = {
+            m.view: {
+                relation: layout_of(m.base_schemas[relation].names)
+                for relation in m.definition.base_relations()
+            }
+            for m in managers
+        }
+        self._process = context.Process(
+            target=_serve_shard,
+            args=(child_conn, plans, replicas, base_layouts),
+            name=f"repro-compute-{shard}",
+            daemon=True,
+        )
+        self._process.start()
+        child_conn.close()
+
+    def propagate(
+        self, view: str, raw: Mapping[str, Mapping[tuple, int]]
+    ) -> dict[tuple, int]:
+        """Round-trip one batch; blocks (GIL released) awaiting the reply."""
+        with self._lock:
+            if not self._process.is_alive():
+                raise SimulationError(
+                    f"compute server {self.shard!r} died "
+                    f"(exitcode {self._process.exitcode})"
+                )
+            self._conn.send(("propagate", view, dict(raw)))
+            if not self._conn.poll(self._timeout):
+                raise SimulationError(
+                    f"compute server {self.shard!r} gave no reply within "
+                    f"{self._timeout}s for view {view!r} (hung worker?)"
+                )
+            status, payload = self._conn.recv()
+        if status != "ok":
+            raise SimulationError(
+                f"compute server {self.shard!r} failed on view {view!r}: "
+                f"{payload}"
+            )
+        return payload
+
+    def stop(self) -> None:
+        try:
+            with self._lock:
+                self._conn.send(("stop",))
+        except (BrokenPipeError, OSError):
+            pass
+        self._process.join(timeout=5.0)
+        if self._process.is_alive():  # pragma: no cover - last resort
+            self._process.terminate()
+            self._process.join(timeout=5.0)
+        self._conn.close()
+
+
+class RemoteViewPlan:
+    """The view-manager side of one remote plan: facade in, facade out.
+
+    Mirrors the local plan's ``propagate`` signature so
+    :meth:`ViewManager._compute_from` treats both identically; the
+    batch-apply/advance half happens inside the server against *its*
+    replica (the parent still advances its own replica rows to stay
+    restartable).
+    """
+
+    def __init__(
+        self,
+        server: ComputeServer,
+        view: str,
+        base_layouts: Mapping[str, tuple[str, ...]],
+        view_layout: tuple[str, ...],
+    ) -> None:
+        self._server = server
+        self._view = view
+        self._base_layouts = dict(base_layouts)
+        self._view_layout = view_layout
+
+    def propagate(self, deltas: Mapping[str, Delta]) -> Delta:
+        raw = {
+            relation: rows_to_counts(self._base_layouts[relation], delta.counts())
+            for relation, delta in deltas.items()
+            if len(delta)
+        }
+        if not raw:
+            return Delta()
+        counts = self._server.propagate(self._view, raw)
+        return Delta(counts_to_rows(self._view_layout, counts))
+
+
+class ComputeFleet:
+    """All of a system's shard servers, stoppable as one."""
+
+    def __init__(self, servers: list[ComputeServer]) -> None:
+        self.servers = servers
+
+    def stop(self) -> None:
+        for server in self.servers:
+            server.stop()
+        self.servers = []
+
+
+def start_compute_fleet(
+    system: "WarehouseSystem",
+    workers: int | None = None,
+    timeout: float = 60.0,
+) -> ComputeFleet:
+    """Fork one compute server per merge shard and install remote plans.
+
+    Only cached-mode managers whose expression compiled to a columnar
+    plan are offloaded; anything else keeps its in-process path (the
+    query-back modes rebuild a pre-state per batch and never had a
+    standing plan to ship).  ``workers`` caps the fleet size — beyond it,
+    shards share servers round-robin, still never splitting a shard.
+    """
+    context = multiprocessing.get_context("fork")
+    offloadable: dict[str, list] = {}
+    for manager in system.view_managers.values():
+        if (
+            manager.mode == "cached"
+            and manager._plan is not None
+            and manager._plan.engine == "columnar"
+        ):
+            shard = system.view_to_merge[manager.view]
+            offloadable.setdefault(shard, []).append(manager)
+
+    servers: list[ComputeServer] = []
+    if offloadable:
+        shards = sorted(offloadable)
+        cap = max(1, min(len(shards), workers or len(shards)))
+        buckets: list[list] = [[] for _ in range(cap)]
+        names: list[list[str]] = [[] for _ in range(cap)]
+        for index, shard in enumerate(shards):
+            buckets[index % cap].extend(offloadable[shard])
+            names[index % cap].append(shard)
+        for bucket, shard_names in zip(buckets, names):
+            server = ComputeServer(
+                "+".join(shard_names), bucket, timeout, context
+            )
+            servers.append(server)
+            for manager in bucket:
+                base_layouts = {
+                    relation: layout_of(manager.base_schemas[relation].names)
+                    for relation in manager.definition.base_relations()
+                }
+                manager.use_remote_plan(
+                    RemoteViewPlan(
+                        server,
+                        manager.view,
+                        base_layouts,
+                        manager._plan._root.layout,
+                    )
+                )
+    return ComputeFleet(servers)
+
+
+__all__ = [
+    "ComputeFleet",
+    "ComputeServer",
+    "RemoteViewPlan",
+    "start_compute_fleet",
+]

@@ -54,6 +54,13 @@ class Simulator:
         self.rng = random.Random(seed)
         self.scheduler = scheduler if scheduler is not None else Scheduler()
         self.scheduler.reset()
+        # Hot-loop fast path: the default scheduler maps every event to
+        # ``(time, 0.0)`` and laneless events never touch the lane marks,
+        # so both the adjust() call and the clamp bookkeeping can be
+        # skipped for them.  Only the exact default class qualifies — any
+        # subclass may carry per-event state (e.g. RandomScheduler's
+        # internal counter) and must see every event.
+        self._default_scheduler = type(self.scheduler) is Scheduler
         # Per-lane high-water marks enforcing causal order under any
         # scheduler: an ordered lane's (time, tie_break) keys never
         # decrease, so same-channel deliveries keep their send order.
@@ -124,6 +131,9 @@ class Simulator:
         ordered: bool,
     ) -> None:
         bound = (lambda: callback(*args)) if args else callback
+        if lane is None and self._default_scheduler:
+            heapq.heappush(self._queue, (time, 0.0, next(self._sequence), bound))
+            return
         when, tie_break = self.scheduler.adjust(time, lane)
         if when < time:
             raise SimulationError(

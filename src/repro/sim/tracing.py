@@ -160,3 +160,35 @@ class Trace:
             str(e) for e in self._materialise() if not wanted or e.kind in wanted
         ]
         return "\n".join(lines)
+
+
+class ThreadSafeTrace(Trace):
+    """A :class:`Trace` whose mutators are serialised by a lock.
+
+    The wall-clock runtimes (:mod:`repro.runtime`) record events from
+    many worker threads at once; ``list.append`` alone would keep the
+    pending list intact under the GIL, but materialisation racing a
+    recording worker could observe a half-drained pending list.  The DES
+    kernel keeps the lock-free base class — its hot loop is
+    single-threaded by construction.
+    """
+
+    __slots__ = ("_lock",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        import threading
+
+        self._lock = threading.RLock()
+
+    def record(self, time: float, kind: str, process: str, **detail: object) -> None:
+        with self._lock:
+            super().record(time, kind, process, **detail)
+
+    def _materialise(self) -> list[TraceEvent]:
+        with self._lock:
+            return super()._materialise()
+
+    def clear(self) -> None:
+        with self._lock:
+            super().clear()

@@ -55,7 +55,7 @@ from repro.merge.submission import (
 )
 from repro.relational.database import Database
 from repro.relational.expressions import ViewDefinition
-from repro.sim.kernel import Simulator
+from repro.runtime import create_runtime
 from repro.sim.network import Channel, LatencyModel, LossyChannel, ReliableChannel
 from repro.sim.process import Process
 from repro.sources.multisource import GlobalTransactionCoordinator
@@ -90,11 +90,16 @@ class WarehouseSystem:
         self.world = world
         self.definitions = tuple(definitions)
         self.config = config if config is not None else SystemConfig()
-        self.sim = Simulator(seed=self.config.seed, scheduler=self.config.scheduler)
+        self.runtime = create_runtime(self.config)
+        self.sim = self.runtime.kernel
         self.sim.trace.enabled = self.config.trace_enabled
         self.sim.trace.kinds = self.config.trace_kinds
         self._initial_state = world.current.snapshot()
         self._build()
+        # Runtimes with external resources attach them here: the system is
+        # wired and seeded, and no run has spawned worker threads yet (the
+        # procs fleet must fork inside exactly that window).
+        self.runtime.start(self)
 
     # ------------------------------------------------------------------ build
     def _connect(self, source: Process, destination: Process,
@@ -420,6 +425,16 @@ class WarehouseSystem:
                 merge.flush()
             executed += self.sim.run()
         return executed
+
+    def close(self) -> None:
+        """Release runtime resources (the procs compute fleet); idempotent."""
+        self.runtime.close()
+
+    def __enter__(self) -> "WarehouseSystem":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ----------------------------------------------------------------- results
     @property

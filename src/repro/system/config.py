@@ -28,6 +28,7 @@ SUBMISSION_POLICIES = (
     "dbms-dependency",
     "batching",
 )
+RUNTIMES = ("des", "threads", "procs")
 
 
 @dataclass
@@ -92,6 +93,19 @@ class SystemConfig:
     # instance (see repro.sim.scheduler and repro.conformance).
     scheduler: Scheduler | None = None
 
+    # execution runtime (see repro.runtime and docs/runtime.md).
+    # "des" is the virtual-time simulator; "threads"/"procs" execute on
+    # real cores under a wall clock.  ``workers`` sizes the worker fleet
+    # (parallel runtimes only; None = the machine's core count);
+    # ``mailbox_capacity`` bounds per-worker mailboxes (None = unbounded
+    # — bounded mailboxes can deadlock on message cycles and then raise
+    # after ``runtime_timeout``); ``runtime_timeout`` is the hung-worker
+    # guard in wall seconds.
+    runtime: str = "des"
+    workers: int | None = None
+    mailbox_capacity: int | None = None
+    runtime_timeout: float = 60.0
+
     # bookkeeping
     seed: int = 0
     record_history: bool = True
@@ -146,6 +160,47 @@ class SystemConfig:
                 f"scheduler must provide adjust(time, lane), "
                 f"got {type(self.scheduler).__name__}"
             )
+        if self.runtime not in RUNTIMES:
+            raise ReproError(f"runtime {self.runtime!r} not in {RUNTIMES}")
+        if self.workers is not None and self.workers < 1:
+            raise ReproError(f"workers must be >= 1, got {self.workers}")
+        if self.mailbox_capacity is not None and self.mailbox_capacity < 1:
+            raise ReproError(
+                f"mailbox_capacity must be >= 1, got {self.mailbox_capacity}"
+            )
+        if self.runtime_timeout <= 0:
+            raise ReproError(
+                f"runtime_timeout must be > 0, got {self.runtime_timeout}"
+            )
+        if self.runtime == "des":
+            if self.workers is not None:
+                raise ReproError(
+                    "workers only applies to parallel runtimes "
+                    "(runtime='threads' or 'procs'); the DES kernel is "
+                    "single-threaded by design"
+                )
+        else:
+            # Virtual-time-only features have no wall-clock semantics:
+            # fault timers and schedule perturbation are meaningless
+            # without a virtual clock, and a periodic manager's zero-delay
+            # self-rescheduling timer would spin a worker forever.
+            if self.fault_plan is not None:
+                raise ReproError(
+                    f"fault plans need virtual-time timers; runtime "
+                    f"{self.runtime!r} cannot honour one (use runtime='des')"
+                )
+            if self.scheduler is not None:
+                raise ReproError(
+                    f"schedule-perturbing schedulers only apply to "
+                    f"runtime='des'; runtime {self.runtime!r} orders events "
+                    f"by real execution"
+                )
+            kinds = {self.manager_kind, *self.manager_kinds.values()}
+            if "periodic" in kinds:
+                raise ReproError(
+                    f"periodic managers re-arm virtual timers and would "
+                    f"spin under runtime {self.runtime!r}; use runtime='des'"
+                )
 
     def kind_for(self, view: str) -> str:
         return self.manager_kinds.get(view, self.manager_kind)

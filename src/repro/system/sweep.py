@@ -78,6 +78,7 @@ def sweep(
                 expected_level=system.expected_level(),
             )
         )
+        system.close()
     return rows
 
 

@@ -1,0 +1,89 @@
+"""Thread-safety of the observability substrates under real concurrency.
+
+The DES kernel is single-threaded so the plain ``Trace`` and
+``MetricsRegistry`` never needed locks; the parallel runtimes record from
+many worker threads at once.  These tests hammer the locked variants from
+multiple threads and assert no updates are lost — which the unlocked
+``Counter.add`` (a non-atomic read-modify-write over ``__slots__``) does
+not guarantee.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.registry import MetricsRegistry
+from repro.sim.tracing import ThreadSafeTrace
+
+THREADS = 8
+PER_THREAD = 2_000
+
+
+def hammer(fn) -> None:
+    workers = [threading.Thread(target=fn, args=(t,)) for t in range(THREADS)]
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join()
+
+
+class TestLockedRegistry:
+    def test_counter_increments_are_not_lost(self):
+        registry = MetricsRegistry(locked=True)
+        counter = registry.counter("events")
+
+        def work(_t: int) -> None:
+            for _ in range(PER_THREAD):
+                counter.inc()
+
+        hammer(work)
+        assert counter.value == THREADS * PER_THREAD
+
+    def test_histogram_observations_are_not_lost(self):
+        registry = MetricsRegistry(locked=True)
+        histogram = registry.histogram("latency")
+
+        def work(t: int) -> None:
+            for i in range(PER_THREAD):
+                histogram.observe(float(t * PER_THREAD + i))
+
+        hammer(work)
+        assert histogram.count == THREADS * PER_THREAD
+
+    def test_concurrent_get_or_create_yields_one_instance(self):
+        registry = MetricsRegistry(locked=True)
+        seen = []
+        barrier = threading.Barrier(THREADS)
+
+        def work(_t: int) -> None:
+            barrier.wait()
+            seen.append(registry.counter("shared"))
+
+        hammer(work)
+        assert len({id(c) for c in seen}) == 1
+
+    def test_unlocked_registry_unchanged_for_des(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc(2)
+        assert counter.value == 2
+        assert type(counter).__name__ == "Counter"
+
+
+class TestThreadSafeTrace:
+    def test_concurrent_records_all_land(self):
+        trace = ThreadSafeTrace()
+
+        def work(t: int) -> None:
+            for i in range(PER_THREAD):
+                trace.record(float(i), "tick", f"w{t}", seq=i)
+
+        hammer(work)
+        assert len(trace.of_kind("tick")) == THREADS * PER_THREAD
+
+    def test_digest_stable_under_same_content(self):
+        a, b = ThreadSafeTrace(), ThreadSafeTrace()
+        for trace in (a, b):
+            trace.record(1.0, "tick", "p", seq=0)
+            trace.record(2.0, "tock", "p", seq=1)
+        assert a.digest() == b.digest()
