@@ -38,6 +38,9 @@ Packages:
 * :mod:`repro.conformance` — schedule-exploration conformance engine:
   seeded violation hunts, delta-debugged minimal reproducers, the
   guarantee matrix
+* :mod:`repro.cache`       — content-addressed materialization cache:
+  blake2b artifact keys, the atomic integrity-verified store, and warm
+  crash-restart for view managers and merge processes
 """
 
 from repro.errors import (
@@ -106,6 +109,7 @@ from repro.obs import (
     write_timeline,
     write_trace,
 )
+from repro.cache import ArtifactStore, CacheConfig, CacheServer, artifact_key
 from repro.conformance import (
     Explorer,
     Reproducer,
@@ -203,6 +207,11 @@ __all__ = [
     "write_chrome_trace",
     "write_jsonl",
     "write_timeline",
+    # cache
+    "ArtifactStore",
+    "CacheConfig",
+    "CacheServer",
+    "artifact_key",
     # conformance
     "ScenarioSpec",
     "Explorer",

@@ -1,0 +1,137 @@
+"""The in-process cache server actor.
+
+Restores on the local node read the artifact store synchronously — the
+store is just a directory.  But a distributed fleet (merge shards, a
+freshly spawned replica on another node) has no shared filesystem; what
+it has is the channel layer.  :class:`CacheServer` is a
+:class:`~repro.sim.process.Process` that fronts one
+:class:`~repro.cache.store.ArtifactStore` with a tiny request/response
+protocol, so any connected process can fetch or publish artifacts over
+ordinary (possibly faulty, possibly reliable) channels:
+
+========================  ==============================================
+message                   reply
+========================  ==============================================
+:class:`ArtifactRequest`  :class:`ArtifactResponse` (payload or miss)
+:class:`ArtifactPublish`  none (fire-and-forget put, optional ref)
+:class:`CacheStatsQuery`  :class:`CacheStatsResponse`
+========================  ==============================================
+
+The server is deliberately dumb: it never inspects payloads, and every
+read goes through the store's verified ``get`` — a corrupted artifact
+comes back as a miss (``payload=None, error="integrity"``), so remote
+restorers inherit the same fall-back-to-replay discipline as local ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.store import ArtifactStore
+from repro.errors import CacheError, CacheIntegrityError, CacheMiss
+from repro.sim.process import Process
+
+
+@dataclass(frozen=True, slots=True)
+class ArtifactRequest:
+    """Fetch ``key``; the server answers with an :class:`ArtifactResponse`."""
+
+    request_id: int
+    key: str
+
+
+@dataclass(frozen=True, slots=True)
+class ArtifactResponse:
+    """``payload`` is None on a miss; ``error`` says why ("miss"/"integrity")."""
+
+    request_id: int
+    key: str
+    payload: bytes | None
+    error: str | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class ArtifactPublish:
+    """Store ``payload`` under ``key``; optionally point ``ref`` at it."""
+
+    key: str
+    payload: bytes
+    ref: str | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class CacheStatsQuery:
+    request_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class CacheStatsResponse:
+    request_id: int
+    stats: dict
+
+
+class CacheServer(Process):
+    """Serve one artifact store over the simulator's channel layer."""
+
+    def __init__(
+        self,
+        sim,
+        store: ArtifactStore,
+        name: str = "cache",
+        service_cost: float = 0.0,
+    ) -> None:
+        super().__init__(sim, name)
+        self.store = store
+        self._service_cost = service_cost
+        self.requests_served = 0
+        self.publishes_accepted = 0
+
+    def service_time(self, message: object) -> float:
+        return self._service_cost
+
+    def handle(self, message: object, sender: Process) -> None:
+        if isinstance(message, ArtifactRequest):
+            self._serve_get(message, sender)
+        elif isinstance(message, ArtifactPublish):
+            self.store.put(message.key, message.payload)
+            if message.ref is not None:
+                self.store.set_ref(message.ref, message.key)
+            self.publishes_accepted += 1
+        elif isinstance(message, CacheStatsQuery):
+            self.send(
+                sender, CacheStatsResponse(message.request_id, self.store.stats())
+            )
+        else:
+            raise CacheError(
+                f"{self.name} cannot handle {type(message).__name__}"
+            )
+
+    def _serve_get(self, request: ArtifactRequest, sender: Process) -> None:
+        payload: bytes | None
+        error: str | None
+        try:
+            payload, error = self.store.get(request.key), None
+        except CacheMiss:
+            payload, error = None, "miss"
+        except CacheIntegrityError:
+            payload, error = None, "integrity"
+        self.requests_served += 1
+        self.trace(
+            "cache_serve",
+            key=request.key[:12],
+            hit=error is None,
+        )
+        self.send(
+            sender,
+            ArtifactResponse(request.request_id, request.key, payload, error),
+        )
+
+
+__all__ = [
+    "ArtifactPublish",
+    "ArtifactRequest",
+    "ArtifactResponse",
+    "CacheServer",
+    "CacheStatsQuery",
+    "CacheStatsResponse",
+]

@@ -330,6 +330,23 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.cache.store import ArtifactStore
+
+    store = ArtifactStore(args.root)
+    if args.cache_command == "gc":
+        report = store.gc(
+            max_bytes=args.max_bytes, max_artifacts=args.max_artifacts
+        )
+        print(f"evicted {report['evicted']} artifact(s), "
+              f"freed {report['freed_bytes']} byte(s)")
+    stats = store.stats()
+    print(f"store: {store.root}")
+    for name in ("artifacts", "bytes", "refs", "pinned"):
+        print(f"  {name:>10}: {stats[name]}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -411,6 +428,26 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write one trace file per variant "
                      "(trace.json -> trace-<variant>.json)")
 
+    cache = sub.add_parser(
+        "cache",
+        help="inspect or garbage-collect a materialization artifact store",
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cstats = cache_sub.add_parser(
+        "stats", help="print artifact/ref/pin counts and byte totals"
+    )
+    cstats.add_argument("--root", required=True, metavar="DIR",
+                        help="artifact store directory (CacheConfig.root)")
+    cgc = cache_sub.add_parser(
+        "gc", help="evict least-recently-used artifacts down to the caps"
+    )
+    cgc.add_argument("--root", required=True, metavar="DIR",
+                     help="artifact store directory (CacheConfig.root)")
+    cgc.add_argument("--max-bytes", type=int, default=None, metavar="N",
+                     help="evict until total payload bytes <= N")
+    cgc.add_argument("--max-artifacts", type=int, default=None, metavar="N",
+                     help="evict until the artifact count <= N")
+
     from repro.conformance.cli import add_conformance_parser
 
     add_conformance_parser(sub)
@@ -427,6 +464,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_sweep(args)
     if args.command == "inspect":
         return _cmd_inspect(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     if args.command == "conformance":
         from repro.conformance.cli import dispatch
 

@@ -173,25 +173,29 @@ class Explorer:
         system = self.spec.build(run_seed=seed, scheduler=scheduler)
         used = system.sim.scheduler
         try:
-            system.run()
-            if self.level is None:
-                violations = check_run(system)
-            else:
-                violations = check_run_at(system, self.level)
-        except Exception as error:  # noqa: BLE001 — any crash is a finding
-            violations = [
-                Violation(
-                    "run", "execution", f"{type(error).__name__}: {error}"
-                )
-            ]
-        perturbations = list(getattr(used, "decisions", ()))
-        result = RunResult(
-            seed=seed,
-            violations=violations,
-            perturbations=perturbations,
-            trace_digest=system.sim.trace.digest(),
-        )
-        return result
+            try:
+                system.run()
+                if self.level is None:
+                    violations = check_run(system)
+                else:
+                    violations = check_run_at(system, self.level)
+            except Exception as error:  # noqa: BLE001 — any crash is a finding
+                violations = [
+                    Violation(
+                        "run", "execution", f"{type(error).__name__}: {error}"
+                    )
+                ]
+            perturbations = list(getattr(used, "decisions", ()))
+            return RunResult(
+                seed=seed,
+                violations=violations,
+                perturbations=perturbations,
+                trace_digest=system.sim.trace.digest(),
+            )
+        finally:
+            # Cache-enabled scenarios own a temp artifact store; every
+            # explored seed must release it (and any runtime resources).
+            system.close()
 
     # -- exploration ---------------------------------------------------------
     def explore(self) -> list[Finding]:

@@ -23,7 +23,7 @@ from pathlib import Path
 
 from repro.conformance.explorer import Explorer, Finding, Reproducer, replay
 from repro.conformance.scenario import ScenarioSpec
-from repro.faults.plan import FaultPlan
+from repro.faults.plan import CrashSpec, FaultPlan
 
 
 @dataclass(frozen=True)
@@ -141,6 +141,63 @@ GUARANTEE_MATRIX: tuple[MatrixRow, ...] = (
             ),
         ),
         "holds",
+    ),
+    # Cache-backed recovery rows (repro.cache): crashed view managers and
+    # merge processes restore from content-addressed artifacts instead of
+    # in-simulator replay, and MVC must still hold under adversarial
+    # scheduling — even with a faulty (dropping, duplicating) network.
+    # The negative row injects the stale-ref fault: checkpoint refs lag
+    # one publish, so a restart adopts a valid-but-stale artifact, which
+    # must surface as a detectable failure, shrink, and replay.
+    MatrixRow(
+        "cached-restart-spa-holds",
+        _row_spec(
+            manager_kind="complete",
+            merge_algorithm="spa",
+            cache=True,
+            fault_plan=FaultPlan(
+                seed=11,
+                crashes=(
+                    CrashSpec("vm:V1", at=5.0, restart_after=2.0),
+                    CrashSpec("merge", at=9.0, restart_after=3.0),
+                ),
+            ),
+        ),
+        "holds",
+    ),
+    MatrixRow(
+        "cached-restart-faulty-reliable-holds",
+        _row_spec(
+            manager_kind="complete",
+            merge_algorithm="spa",
+            cache=True,
+            fault_plan=FaultPlan(
+                seed=13,
+                drop_rate=0.05,
+                duplicate_rate=0.05,
+                reliable=True,
+                crashes=(
+                    CrashSpec("vm:V1", at=5.0, restart_after=2.0),
+                    CrashSpec("merge", at=9.0, restart_after=3.0),
+                ),
+            ),
+        ),
+        "holds",
+    ),
+    MatrixRow(
+        "cached-restart-stale-artifact-breaks",
+        _row_spec(
+            manager_kind="complete",
+            merge_algorithm="spa",
+            cache=True,
+            cache_stale_refs=True,
+            fault_plan=FaultPlan(
+                seed=19,
+                crashes=(CrashSpec("vm:V1", at=5.0, restart_after=2.0),),
+            ),
+        ),
+        "violates",
+        check_level="complete",
     ),
     MatrixRow(
         "naive-fleet-breaks-strong",

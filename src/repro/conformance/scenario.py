@@ -21,6 +21,7 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
+from repro.cache.store import CacheConfig
 from repro.errors import ReproError
 from repro.faults.plan import CrashSpec, FaultPlan
 from repro.relational.expressions import ViewDefinition
@@ -143,6 +144,13 @@ class ScenarioSpec:
     use_selection_filtering: bool = False
     warehouse_executors: int = 1
     fault_plan: FaultPlan | None = None
+    # Content-addressed materialization cache (repro.cache): each run
+    # gets a private temp store, so these knobs explore cache-backed
+    # crash recovery rather than cross-run warm restarts.
+    # ``cache_stale_refs`` is the negative branch — checkpoint refs lag
+    # one publish, so a restart restores a valid-but-stale artifact.
+    cache: bool = False
+    cache_stale_refs: bool = False
     scheduler: str = "delay"
     delay_rate: float = 0.15
     max_delay: float = 3.0
@@ -231,6 +239,11 @@ class ScenarioSpec:
             use_selection_filtering=self.use_selection_filtering,
             warehouse_executors=self.warehouse_executors,
             fault_plan=self.fault_plan_for(run_seed),
+            cache=(
+                CacheConfig(stale_refs=self.cache_stale_refs)
+                if self.cache
+                else None
+            ),
             scheduler=scheduler,
             seed=run_seed,
         )
@@ -279,6 +292,8 @@ class ScenarioSpec:
             "fault_plan": (
                 fault_plan_to_dict(self.fault_plan) if self.fault_plan else None
             ),
+            "cache": self.cache,
+            "cache_stale_refs": self.cache_stale_refs,
             "scheduler": self.scheduler,
             "delay_rate": self.delay_rate,
             "max_delay": self.max_delay,
@@ -327,6 +342,10 @@ class ScenarioSpec:
         ]
         if self.fault_plan is not None:
             parts.append(self.fault_plan.describe())
+        if self.cache:
+            parts.append(
+                "cache=stale-refs" if self.cache_stale_refs else "cache=on"
+            )
         return " ".join(parts)
 
 

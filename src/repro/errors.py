@@ -55,6 +55,18 @@ class WarehouseError(ReproError):
     """A warehouse transaction could not be applied."""
 
 
+class CacheError(ReproError):
+    """The artifact cache was misused or hit an unrecoverable condition."""
+
+
+class CacheMiss(CacheError):
+    """The requested artifact key is not in the store."""
+
+
+class CacheIntegrityError(CacheError):
+    """A stored artifact failed its digest verification (corruption)."""
+
+
 class ConsistencyViolation(ReproError):
     """A consistency checker found a violated definition.
 

@@ -66,6 +66,7 @@ class MergeProcess(Process):
         txn_id_start: int = 1,
         txn_id_step: int = 1,
         checkpointing: bool = False,
+        cache=None,
     ) -> None:
         super().__init__(sim, name or algorithm.name)
         self.algorithm = algorithm
@@ -83,9 +84,15 @@ class MergeProcess(Process):
         self._g_vut = sim.metrics.gauge("merge_vut_size", timeline=True,
                                         merge=self.name)
         self.checkpointing = checkpointing
+        # Optional repro.cache.artifacts.MergeCacheBinding: checkpoints
+        # additionally publish to the content-addressed store, and
+        # restarts prefer the store's artifact over the in-memory copy.
+        self._cache = cache
         self._checkpoint: MergeCheckpoint | None = None
         self.checkpoints_taken = 0
         self.restores = 0
+        self.cache_restores = 0
+        self.cache_fallbacks = 0
 
     # -- plumbing -----------------------------------------------------------
     def _allocate_txn_id(self) -> int:
@@ -177,11 +184,27 @@ class MergeProcess(Process):
         )
         self.checkpoints_taken += 1
         self.trace("checkpoint", next_txn=self._next_txn_id)
+        if self._cache is not None:
+            self._cache.publish(self._checkpoint)
         return self._checkpoint
 
     def on_restart(self) -> None:
-        """Reinstate the last checkpoint (or stay pristine if none exists)."""
-        checkpoint = self._checkpoint
+        """Reinstate the newest checkpoint (or stay pristine if none exists).
+
+        With a cache binding the artifact store is the source of truth:
+        its ref points at the newest durably published checkpoint, and
+        the in-memory copy is only the fallback for a miss or a failed
+        integrity check.
+        """
+        checkpoint = None
+        if self._cache is not None:
+            checkpoint = self._cache.try_restore()
+            if checkpoint is not None:
+                self.cache_restores += 1
+            elif self._checkpoint is not None:
+                self.cache_fallbacks += 1
+        if checkpoint is None:
+            checkpoint = self._checkpoint
         if checkpoint is None:
             return
         # Copy out of the checkpoint so it remains restorable a second time.

@@ -250,13 +250,20 @@ class _CMatInput:
 
     __slots__ = ("expr", "node", "store", "layout", "probe_key", "probes", "_db")
 
-    def __init__(self, expr: Expression, node, db, probe_key) -> None:
+    def __init__(self, expr: Expression, node, db, probe_key, seed=None) -> None:
         self.expr = expr
         self.node = node
         self._db = db
         self.probe_key = probe_key
         self.probes = 0
-        layout, counts = _eval_columnar(expr, db)
+        if seed is not None:
+            # Warm start (repro.cache): adopt exported contents instead of
+            # re-evaluating the subexpression — the dominant cold-compile
+            # cost.  The seed's provenance is the caller's problem (cache
+            # keys tie it to the same expression/engine/base state).
+            layout, counts = tuple(seed[0]), dict(seed[1])
+        else:
+            layout, counts = _eval_columnar(expr, db)
         self.layout = layout
         self.store = ColumnarRelation(layout, counts)
 
@@ -407,15 +414,22 @@ class _CAggregateNode:
 
     __slots__ = ("expr", "child", "layout", "_kernel", "_groups", "_db")
 
-    def __init__(self, expr: Aggregate, child, db) -> None:
+    def __init__(self, expr: Aggregate, child, db, seed_groups=None) -> None:
         self.expr = expr
         self.child = child
         self._db = db
         self._kernel = AggregateKernel(expr, child.layout)
         self.layout = self._kernel.layout
         self._groups: dict[tuple, list] = {}
-        _, counts = _eval_columnar(expr.child, db)
-        self._kernel.accumulate(self._groups, counts)
+        if seed_groups is not None:
+            # Warm start: adopt exported group states (copied — the cache
+            # payload must stay immutable) instead of evaluating the child.
+            self._groups = {
+                key: list(state) for key, state in seed_groups.items()
+            }
+        else:
+            _, counts = _eval_columnar(expr.child, db)
+            self._kernel.accumulate(self._groups, counts)
 
     def delta(self, deltas, staged) -> Mapping[tuple, int]:
         memo = ("delta", id(self))
@@ -478,6 +492,7 @@ class MaintenancePlan:
         database,
         library: "PlanLibrary | None" = None,
         engine: str | None = None,
+        preload: Mapping[str, object] | None = None,
     ) -> None:
         if engine is None:
             engine = library.engine if library is not None else "columnar"
@@ -499,7 +514,17 @@ class MaintenancePlan:
         self._nodes: list = []
         self._schemas = dict(database.schemas)
         self.schema = expression.infer_schema(self._schemas)
+        # Warm-start auxiliary state (see export_aux): only private
+        # columnar compiles consume it — interned library nodes may be
+        # shared with plans the seed knows nothing about, and the rows
+        # engine is the reference path (always recomputed fresh).
+        self._preload = (
+            dict(preload)
+            if preload and library is None and engine == "columnar"
+            else None
+        )
         self._root = self._compile(expression)
+        self._preload = None
         self._staged: dict = {}
         self.propagations = 0
 
@@ -549,7 +574,12 @@ class MaintenancePlan:
             child = self._compile(expr.child)
             if rows:
                 return _rows.AggregateNode(expr, child, self._db)
-            return _CAggregateNode(expr, child, self._db)
+            seed_groups = (
+                self._preload.get(f"agg|{expr}")
+                if self._preload is not None
+                else None
+            )
+            return _CAggregateNode(expr, child, self._db, seed_groups)
         raise PlanUnsupported(
             f"no maintenance plan for {type(expr).__name__} nodes"
         )
@@ -570,7 +600,14 @@ class MaintenancePlan:
         if rows:
             build = lambda: _rows.MatInput(expr, self._compile(expr), self._db, on)
         else:
-            build = lambda: _CMatInput(expr, self._compile(expr), self._db, on)
+            seed = (
+                self._preload.get(f"input|{','.join(on)}|{expr}")
+                if self._preload is not None
+                else None
+            )
+            build = lambda: _CMatInput(
+                expr, self._compile(expr), self._db, on, seed
+            )
         return self._intern(("input", expr, on), build)
 
     # -- maintenance -------------------------------------------------------
@@ -632,6 +669,33 @@ class MaintenancePlan:
         """Recompute all auxiliary state from the database (post-drift)."""
         self._staged = {}
         self._root.rebuild()
+
+    def export_aux(self) -> dict[str, object]:
+        """The plan's auxiliary state as plain data (for ``repro.cache``).
+
+        Covers the two expensive-to-rebuild node kinds: auxiliary join
+        materializations (``input|<on>|<expr>`` → ``(layout, counts)``)
+        and aggregate group states (``agg|<expr>`` → ``{key: state}``).
+        Feeding the result back as ``preload=`` to a fresh compile of the
+        same expression over the same base state skips their evaluation.
+        The rows engine exports nothing (it always recompiles fresh).
+        """
+        if self.engine != "columnar":
+            return {}
+        out: dict[str, object] = {}
+        for node in self._nodes:
+            if isinstance(node, _CMatInput):
+                key = f"input|{','.join(node.probe_key)}|{node.expr}"
+                out[key] = (
+                    tuple(node.layout),
+                    dict(node.store.counts_view()),
+                )
+            elif isinstance(node, _CAggregateNode):
+                out[f"agg|{node.expr}"] = {
+                    key: list(state)
+                    for key, state in node._groups.items()
+                }
+        return out
 
     # -- inspection ---------------------------------------------------------
     def describe(self) -> str:

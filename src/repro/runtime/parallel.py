@@ -382,6 +382,11 @@ class ProcsRuntime(ThreadsRuntime):
         super().__init__(config)
         self._fleet = None
 
+    @property
+    def fleet(self):
+        """The live :class:`~repro.runtime.procpool.ComputeFleet` (or None)."""
+        return self._fleet
+
     def start(self, system: "WarehouseSystem") -> None:
         from repro.runtime.procpool import start_compute_fleet
 

@@ -14,7 +14,20 @@ serialised by a parent-side lock):
     ("propagate", view, {relation: {value_tuple: count}})
         -> ("ok", {value_tuple: count})   # the view delta, root layout
         -> ("err", "ExcType: message")
+    ("publish", view)
+        -> ("ok", key)                    # child-state artifact published
+        -> ("err", "ExcType: message")
     ("stop",) -> server exits
+
+When the system runs with a cache (``SystemConfig(cache=...)``), each
+child inherits the artifact-store *root path* across the fork and opens
+its own :class:`~repro.cache.store.ArtifactStore` handle on first
+``publish`` — the store's atomic write-then-rename discipline makes the
+parent and any number of children safe concurrent writers.  A publish
+encodes the child's replica + plan auxiliary state with
+:func:`~repro.cache.artifacts.encode_child_state` and points the
+``<namespace>/procs/<view>`` ref at it, so the parent (or a later run)
+can fetch and verify exactly what state the shard had reached.
 
 Batches cross the pipe as layout-positioned tuple bags — the same raw
 form ``propagate_counts`` takes — so no :class:`~repro.relational.rows.Row`
@@ -46,13 +59,62 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.viewmgr.base import ViewManager
 
 
-def _serve_shard(conn, plans: dict, replicas: dict, base_layouts: dict) -> None:
-    """Child main loop: propagate/advance each view on request."""
+def _publish_child_state(
+    store, namespace: str, view: str, plan, replica, layouts: dict, expr: str
+) -> str:
+    """Encode + publish one view's shard state; returns the artifact key."""
+    from repro.cache.artifacts import encode_child_state
+
+    replica_counts = {
+        name: (
+            layouts[name],
+            rows_to_counts(layouts[name], replica.relation(name).counts_view()),
+        )
+        for name in replica.relation_names
+    }
+    key, payload = encode_child_state(
+        view, expr, plan.engine, replica_counts, plan.export_aux()
+    )
+    store.put(key, payload)
+    store.set_ref(f"{namespace}/procs/{view}", key)
+    return key
+
+
+def _serve_shard(
+    conn, plans: dict, replicas: dict, base_layouts: dict, cache_info=None
+) -> None:
+    """Child main loop: propagate/advance/publish each view on request."""
+    store = None
     try:
         while True:
             request = conn.recv()
             if request[0] == "stop":
                 return
+            if request[0] == "publish":
+                _kind, view = request
+                try:
+                    if cache_info is None:
+                        raise SimulationError(
+                            "compute server has no cache configured"
+                        )
+                    root, namespace, exprs = cache_info
+                    if store is None:
+                        from repro.cache.store import ArtifactStore
+
+                        store = ArtifactStore(root)
+                    key = _publish_child_state(
+                        store,
+                        namespace,
+                        view,
+                        plans[view],
+                        replicas[view],
+                        base_layouts[view],
+                        exprs[view],
+                    )
+                    conn.send(("ok", key))
+                except Exception as exc:  # noqa: BLE001 - relayed to parent
+                    conn.send(("err", f"{type(exc).__name__}: {exc}"))
+                continue
             _kind, view, raw = request
             try:
                 plan = plans[view]
@@ -83,6 +145,7 @@ class ComputeServer:
         managers: "list[ViewManager]",
         timeout: float,
         context,
+        cache_info: tuple | None = None,
     ) -> None:
         self.shard = shard
         self.views = tuple(m.view for m in managers)
@@ -99,9 +162,13 @@ class ComputeServer:
             }
             for m in managers
         }
+        if cache_info is not None:
+            root, namespace = cache_info
+            exprs = {m.view: str(m.definition.expression) for m in managers}
+            cache_info = (root, namespace, exprs)
         self._process = context.Process(
             target=_serve_shard,
-            args=(child_conn, plans, replicas, base_layouts),
+            args=(child_conn, plans, replicas, base_layouts, cache_info),
             name=f"repro-compute-{shard}",
             daemon=True,
         )
@@ -129,6 +196,28 @@ class ComputeServer:
             raise SimulationError(
                 f"compute server {self.shard!r} failed on view {view!r}: "
                 f"{payload}"
+            )
+        return payload
+
+    def publish_state(self, view: str) -> str:
+        """Ask the child to publish ``view``'s shard state; returns the key."""
+        with self._lock:
+            if not self._process.is_alive():
+                raise SimulationError(
+                    f"compute server {self.shard!r} died "
+                    f"(exitcode {self._process.exitcode})"
+                )
+            self._conn.send(("publish", view))
+            if not self._conn.poll(self._timeout):
+                raise SimulationError(
+                    f"compute server {self.shard!r} gave no publish reply "
+                    f"within {self._timeout}s for view {view!r}"
+                )
+            status, payload = self._conn.recv()
+        if status != "ok":
+            raise SimulationError(
+                f"compute server {self.shard!r} could not publish "
+                f"view {view!r}: {payload}"
             )
         return payload
 
@@ -185,6 +274,14 @@ class ComputeFleet:
     def __init__(self, servers: list[ComputeServer]) -> None:
         self.servers = servers
 
+    def publish_all(self) -> dict[str, str]:
+        """Publish every offloaded view's shard state; view -> artifact key."""
+        published: dict[str, str] = {}
+        for server in self.servers:
+            for view in server.views:
+                published[view] = server.publish_state(view)
+        return published
+
     def stop(self) -> None:
         for server in self.servers:
             server.stop()
@@ -215,6 +312,11 @@ def start_compute_fleet(
             shard = system.view_to_merge[manager.view]
             offloadable.setdefault(shard, []).append(manager)
 
+    cache_info = None
+    store = getattr(system, "cache_store", None)
+    if store is not None:
+        cache_info = (str(store.root), system.config.cache.namespace)
+
     servers: list[ComputeServer] = []
     if offloadable:
         shards = sorted(offloadable)
@@ -226,7 +328,8 @@ def start_compute_fleet(
             names[index % cap].append(shard)
         for bucket, shard_names in zip(buckets, names):
             server = ComputeServer(
-                "+".join(shard_names), bucket, timeout, context
+                "+".join(shard_names), bucket, timeout, context,
+                cache_info=cache_info,
             )
             servers.append(server)
             for manager in bucket:

@@ -24,6 +24,12 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+import shutil
+import tempfile
+
+from repro.cache.artifacts import SystemCacheBinding
+from repro.cache.server import CacheServer
+from repro.cache.store import ArtifactStore
 from repro.consistency import (
     check_mvc_convergent,
     check_mvc_ordered,
@@ -95,6 +101,26 @@ class WarehouseSystem:
         self.sim.trace.enabled = self.config.trace_enabled
         self.sim.trace.kinds = self.config.trace_kinds
         self._initial_state = world.current.snapshot()
+        self._owned_cache_root: str | None = None
+        self.cache_store: ArtifactStore | None = None
+        self.cache_server: CacheServer | None = None
+        self._cache_binding: SystemCacheBinding | None = None
+        if self.config.cache is not None:
+            cache_cfg = self.config.cache
+            root = cache_cfg.root
+            if root is None:
+                # Private store, removed by close(); pass an explicit
+                # root to share artifacts across systems (warm restart).
+                root = tempfile.mkdtemp(prefix="repro-cache-")
+                self._owned_cache_root = root
+            self.cache_store = ArtifactStore(
+                root,
+                max_bytes=cache_cfg.max_bytes,
+                max_artifacts=cache_cfg.max_artifacts,
+            )
+            self._cache_binding = SystemCacheBinding(
+                self.cache_store, cache_cfg
+            )
         self._build()
         # Runtimes with external resources attach them here: the system is
         # wired and seeded, and no run has spawned worker threads yet (the
@@ -188,10 +214,16 @@ class WarehouseSystem:
                 per_message_cost=cfg.merge_message_cost,
                 txn_id_start=index + 1,
                 txn_id_step=len(groups),
-                # Under a fault plan the merge checkpoints after every
-                # handled message so a crash/restart resumes without
-                # violating MVC.
-                checkpointing=cfg.fault_plan is not None,
+                # Under a fault plan (or with a cache) the merge
+                # checkpoints after every handled message so a
+                # crash/restart resumes without violating MVC.
+                checkpointing=cfg.fault_plan is not None
+                or self._cache_binding is not None,
+                cache=(
+                    self._cache_binding.for_merge(name)
+                    if self._cache_binding is not None
+                    else None
+                ),
             )
             self._connect(merge, self.warehouse, cfg.latency_merge_warehouse)
             self._connect(self.warehouse, merge, cfg.latency_warehouse_merge)
@@ -236,6 +268,10 @@ class WarehouseSystem:
                     }
                 )
             if manager.mode == "cached":
+                if self._cache_binding is not None:
+                    manager.install_cache(
+                        self._cache_binding.for_view(definition.name)
+                    )
                 manager.seed_replica(self._initial_state)
             self.store.initialize_view(
                 definition.name, manager.materialize_initial(self._initial_state)
@@ -273,6 +309,16 @@ class WarehouseSystem:
             self.coordinator, self.integrator, cfg.latency_source_integrator
         )
 
+        # Cache server: fronts the artifact store over the channel layer
+        # so merge shards and freshly spawned replicas can fetch each
+        # other's artifacts without a shared filesystem (local restores
+        # still read the store directly — it is just a directory).
+        if self._cache_binding is not None and cfg.cache.server:
+            self.cache_server = CacheServer(self.sim, self.cache_store)
+            for peer in (*self.merge_processes, *self.view_managers.values()):
+                self._connect(peer, self.cache_server, 0.0)
+                self._connect(self.cache_server, peer, 0.0)
+
         # Process registry (used by fault plans and diagnostics).
         for process in (
             self.warehouse,
@@ -282,6 +328,7 @@ class WarehouseSystem:
             *self.merge_processes,
             *self.view_managers.values(),
             *self.sources.values(),
+            *((self.cache_server,) if self.cache_server is not None else ()),
         ):
             self.processes[process.name] = process
 
@@ -429,6 +476,9 @@ class WarehouseSystem:
     def close(self) -> None:
         """Release runtime resources (the procs compute fleet); idempotent."""
         self.runtime.close()
+        if self._owned_cache_root is not None:
+            shutil.rmtree(self._owned_cache_root, ignore_errors=True)
+            self._owned_cache_root = None
 
     def __enter__(self) -> "WarehouseSystem":
         return self

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping
 
+from repro.cache.store import CacheConfig
 from repro.errors import ReproError
 from repro.faults.plan import FaultPlan
 from repro.sim.network import LatencyModel
@@ -88,6 +89,14 @@ class SystemConfig:
     # fault injection (None = the paper's perfect environment)
     fault_plan: FaultPlan | None = None
 
+    # content-addressed materialization cache (None = no cache; see
+    # repro.cache and docs/caching.md).  With a cache, cached-mode view
+    # managers publish seed artifacts + per-message checkpoints and the
+    # merge process publishes durable checkpoints; crash recovery
+    # restores from the nearest artifact and falls back to replay on a
+    # miss or digest mismatch.
+    cache: CacheConfig | None = None
+
     # event scheduling (None = deterministic FIFO tie-breaks).  A
     # Scheduler instance is stateful per run: build one system per
     # instance (see repro.sim.scheduler and repro.conformance).
@@ -152,6 +161,10 @@ class SystemConfig:
         if self.fault_plan is not None and not isinstance(self.fault_plan, FaultPlan):
             raise ReproError(
                 f"fault_plan must be a FaultPlan, got {type(self.fault_plan).__name__}"
+            )
+        if self.cache is not None and not isinstance(self.cache, CacheConfig):
+            raise ReproError(
+                f"cache must be a CacheConfig, got {type(self.cache).__name__}"
             )
         if self.scheduler is not None and not callable(
             getattr(self.scheduler, "adjust", None)

@@ -119,6 +119,13 @@ class ViewManager(Process):
         self._current_batch: list[UpdateForView] = []
         self.action_lists_sent = 0
         self.updates_processed = 0
+        # Content-addressed cache binding (repro.cache): None = the PR-1
+        # behaviour, crash recovery by in-simulator replay only.
+        self._cache = None
+        self._pending_emit: tuple[tuple[int, ...], Delta] | None = None
+        self._stash: dict | None = None
+        self.cache_restores = 0
+        self.cache_fallbacks = 0
 
     # -- replica management (cached mode) ---------------------------------------
     def set_replica_filters(self, filters: Mapping[str, "Predicate"]) -> None:
@@ -148,6 +155,21 @@ class ViewManager(Process):
             for relation, delta in deltas.items()
         }
 
+    def install_cache(self, binding) -> None:
+        """Attach a :class:`~repro.cache.artifacts.ViewCacheBinding`.
+
+        Call before :meth:`seed_replica` so the binding can serve a seed
+        artifact (warm plan compile + initial contents) and so every
+        handled message gets a durable checkpoint.  Only cached mode has
+        a standing replica worth caching.
+        """
+        if self.mode != "cached":
+            raise ViewManagerError(
+                f"{self.name} runs mode={self.mode!r}; the artifact cache "
+                f"needs cached mode (a standing replica to checkpoint)"
+            )
+        self._cache = binding
+
     def seed_replica(self, initial: Database) -> None:
         """Install local base-relation replicas from the initial source state."""
         replica = Database()
@@ -164,9 +186,17 @@ class ViewManager(Process):
         # database, so maintenance can run through a compiled indexed
         # plan (columnar-engine by default — see docs/engine.md);
         # query-back modes rebuild a pre-state per batch and keep the
-        # unindexed path.
+        # unindexed path.  A cache binding fixes its key material here
+        # and may serve a seed artifact whose auxiliary state lets the
+        # compile skip its evaluation passes (the cold-start hot spot).
+        preload = None
+        if self._cache is not None:
+            self._cache.on_seeded(self)
+            preload = self._cache.seed_aux()
         try:
-            self._plan = MaintenancePlan(self.definition.expression, replica)
+            self._plan = MaintenancePlan(
+                self.definition.expression, replica, preload=preload
+            )
         except PlanUnsupported:
             self._plan = None
 
@@ -191,6 +221,10 @@ class ViewManager(Process):
         """Compute the view's initial contents (``V(ss_0)``)."""
         from repro.relational.algebra import evaluate
 
+        if self._cache is not None:
+            cached = self._cache.seed_contents()
+            if cached is not None:
+                return cached
         scratch = Database()
         for relation in sorted(self.definition.base_relations()):
             scratch.create_relation(
@@ -198,7 +232,10 @@ class ViewManager(Process):
                 self.base_schemas[relation],
                 iter(initial.relation(relation)),
             )
-        return evaluate(self.definition.expression, scratch)
+        contents = evaluate(self.definition.expression, scratch)
+        if self._cache is not None:
+            self._cache.publish_seed(self, contents)
+        return contents
 
     # -- message handling -----------------------------------------------------
     def handle(self, message: object, sender: Process) -> None:
@@ -325,6 +362,8 @@ class ViewManager(Process):
             )
             if advance_replica:
                 pre_state.apply_deltas(deltas)
+        if advance_replica and self._cache is not None:
+            self._cache.advance(deltas)
         covered = tuple(msg.update_id for msg in batch)
         cost = self.compute_cost(len(batch), len(view_delta) + 1)
         self.trace(
@@ -333,7 +372,8 @@ class ViewManager(Process):
             delta=len(view_delta),
             cost=round(cost, 4),
         )
-        self.sim.schedule(cost, self._emit, covered, view_delta)
+        self._pending_emit = (covered, view_delta)
+        self.sim.schedule(cost, self._emit, covered, view_delta, self._epoch)
 
     @staticmethod
     def _batch_deltas(batch: list[UpdateForView]) -> dict[str, Delta]:
@@ -344,7 +384,24 @@ class ViewManager(Process):
                 merged[update.relation] = existing.combined(update.as_delta())
         return merged
 
-    def _emit(self, covered: tuple[int, ...], view_delta: Delta) -> None:
+    def _emit(
+        self,
+        covered: tuple[int, ...],
+        view_delta: Delta,
+        epoch: int | None = None,
+    ) -> None:
+        if (
+            self._cache is not None
+            and epoch is not None
+            and epoch != self._epoch
+        ):
+            # A pre-crash emit firing after restart.  Cache-backed
+            # recovery restored (and re-scheduled) the pending emit
+            # itself, so letting this stale event through would send the
+            # action list twice.  Without a cache the stale emit *is*
+            # the recovery path — the computed state survives in-process
+            # — so the guard applies only to cache-backed managers.
+            return
         action_list = self.build_action_list(covered, view_delta)
         self.send(self.merge_name, ActionListMessage(action_list))
         self.action_lists_sent += 1
@@ -352,6 +409,12 @@ class ViewManager(Process):
         self._applied_version = covered[-1]
         self._computing = False
         self._current_batch = []
+        self._pending_emit = None
+        if self._cache is not None:
+            # The emit changed durable state (list sent, pending cleared)
+            # outside any handled message — publish a covering checkpoint
+            # or a restart would re-send this action list.
+            self._cache.on_handled(self)
         self._maybe_start()
 
     def build_action_list(
@@ -367,6 +430,65 @@ class ViewManager(Process):
         buffer); complete-N overrides this to close its trailing partial
         block once the update stream has ended.
         """
+
+    # -- durability (repro.cache) -------------------------------------------
+    def extra_durable_state(self) -> dict:
+        """Subclass state a checkpoint must carry (plain picklable data)."""
+        return {}
+
+    def restore_extra_state(self, state: dict) -> None:
+        """Inverse of :meth:`extra_durable_state`."""
+
+    def on_handled(self, message: object, sender: Process) -> None:
+        # Checkpoint-before-ack: this hook runs after the message's
+        # effects but before the channel-level on_processed ack, so every
+        # acked update is covered by some published artifact.
+        if self._cache is not None:
+            self._cache.on_handled(self)
+
+    def on_crash(self) -> None:
+        if self._cache is None:
+            return
+        # Model a real process death: volatile state is gone.  The live
+        # objects are stashed aside only as the *fallback* recovery path
+        # (mirroring PR-1 replay); restore prefers the artifact store and
+        # the counters below say which path ran.
+        self._stash = self._cache.capture_local(self)
+        self._buffer = deque()
+        self._current_batch = []
+        self._pending_emit = None
+        self._computing = False
+        self._outstanding_query = None
+        self._replica = None
+        self._plan = None
+
+    def on_restart(self) -> None:
+        if self._cache is None:
+            return
+        if self._cache.try_restore(self):
+            self.cache_restores += 1
+            self.trace("cache_restore", applied=self._applied_version)
+        else:
+            stash, self._stash = self._stash, None
+            if stash is None:
+                raise ViewManagerError(
+                    f"{self.name} restarted with neither a cache artifact "
+                    f"nor local state to fall back to"
+                )
+            self._cache.restore_local(self, stash)
+            self.cache_fallbacks += 1
+            self.trace("cache_fallback", applied=self._applied_version)
+        self._stash = None
+        pending = self._pending_emit
+        if pending is not None:
+            # The crash interrupted a computed-but-unsent batch; the
+            # checkpoint preserved it, so re-emit immediately (the
+            # compute cost was already paid before the crash).
+            self.sim.schedule(
+                0.0, self._emit, pending[0], pending[1], self._epoch
+            )
+        else:
+            self._maybe_start()
 
     # -- inspection ------------------------------------------------------------
     @property

@@ -83,6 +83,12 @@ class CompleteNViewManager(ViewManager):
             self._closed_through = max(self._closed_through, block_end)
             self._maybe_start()
 
+    def extra_durable_state(self) -> dict:
+        return {"closed_through": self._closed_through}
+
+    def restore_extra_state(self, state: dict) -> None:
+        self._closed_through = state.get("closed_through", 0)
+
     def select_batch(self) -> list[UpdateForView]:
         """Take the buffered updates of the oldest fully closed block."""
         if not self._buffer:

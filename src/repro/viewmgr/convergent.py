@@ -29,7 +29,18 @@ class ConvergentViewManager(ViewManager):
     def select_batch(self) -> list[UpdateForView]:
         return [self._buffer.popleft()]
 
-    def _emit(self, covered: tuple[int, ...], view_delta: Delta) -> None:
+    def _emit(
+        self,
+        covered: tuple[int, ...],
+        view_delta: Delta,
+        epoch: int | None = None,
+    ) -> None:
+        if (
+            self._cache is not None
+            and epoch is not None
+            and epoch != self._epoch
+        ):
+            return  # stale pre-crash emit; see ViewManager._emit
         deletions = Delta({row: -count for row, count in view_delta.deletions()})
         insertions = Delta(dict(view_delta.insertions()))
         emitted = 0
@@ -48,4 +59,7 @@ class ConvergentViewManager(ViewManager):
         self._applied_version = covered[-1]
         self._computing = False
         self._current_batch = []
+        self._pending_emit = None
+        if self._cache is not None:
+            self._cache.on_handled(self)  # see ViewManager._emit
         self._maybe_start()

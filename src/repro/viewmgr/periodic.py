@@ -81,6 +81,15 @@ class PeriodicRefreshManager(ViewManager):
         self._maybe_start()
         self._ensure_tick()
 
+    def extra_durable_state(self) -> dict:
+        return {"refresh_due": self._refresh_due}
+
+    def restore_extra_state(self, state: dict) -> None:
+        self._refresh_due = state.get("refresh_due", False)
+        # The pre-crash tick (if any) still fires — ticks are idempotent —
+        # but make sure a restored backlog is never left without one.
+        self._ensure_tick()
+
     def select_batch(self) -> list[UpdateForView]:
         if not self._refresh_due or not self._buffer:
             return []

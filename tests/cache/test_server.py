@@ -1,0 +1,152 @@
+"""The cache server actor: artifacts over ordinary channels.
+
+A client process publishes and fetches artifacts through
+:class:`~repro.cache.server.CacheServer` exactly as a remote restorer
+would — over :class:`~repro.sim.network.Channel` objects under the DES
+kernel — and the builder wires a server into every cache-enabled system.
+"""
+
+import pytest
+
+from repro.cache.keys import artifact_key
+from repro.cache.server import (
+    ArtifactPublish,
+    ArtifactRequest,
+    ArtifactResponse,
+    CacheServer,
+    CacheStatsQuery,
+    CacheStatsResponse,
+)
+from repro.cache.store import ArtifactStore, CacheConfig
+from repro.errors import CacheError
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process
+from repro.system.builder import WarehouseSystem
+from repro.system.config import SystemConfig
+from repro.workloads.schemas import paper_views_example1, paper_world
+
+
+class Client(Process):
+    def __init__(self, sim, name="client"):
+        super().__init__(sim, name)
+        self.responses = []
+
+    def handle(self, message, sender):
+        self.responses.append(message)
+
+
+@pytest.fixture
+def wired(tmp_path):
+    sim = Simulator()
+    store = ArtifactStore(tmp_path)
+    server = CacheServer(sim, store, service_cost=0.5)
+    client = Client(sim)
+    client.connect(server, 1.0)
+    server.connect(client, 1.0)
+    return sim, store, server, client
+
+
+KEY = artifact_key("test", {"name": "served"})
+
+
+class TestProtocol:
+    def test_publish_then_fetch_round_trip(self, wired):
+        sim, store, server, client = wired
+        client.send(server, ArtifactPublish(KEY, b"payload", ref="ns/view/V1"))
+        client.send(server, ArtifactRequest(1, KEY))
+        sim.run()
+        assert server.publishes_accepted == 1
+        assert server.requests_served == 1
+        assert store.ref("ns/view/V1") == KEY
+        (response,) = client.responses
+        assert response == ArtifactResponse(1, KEY, b"payload", None)
+
+    def test_miss_answered_not_raised(self, wired):
+        sim, _store, server, client = wired
+        client.send(server, ArtifactRequest(7, KEY))
+        sim.run()
+        (response,) = client.responses
+        assert response.payload is None
+        assert response.error == "miss"
+        assert response.request_id == 7
+
+    def test_corrupt_artifact_served_as_integrity_miss(self, wired):
+        sim, store, server, client = wired
+        store.put(KEY, b"payload")
+        path = store._object_path(KEY)
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        client.send(server, ArtifactRequest(2, KEY))
+        sim.run()
+        (response,) = client.responses
+        assert response.payload is None
+        assert response.error == "integrity"
+
+    def test_stats_query(self, wired):
+        sim, _store, server, client = wired
+        client.send(server, ArtifactPublish(KEY, b"payload"))
+        client.send(server, CacheStatsQuery(3))
+        sim.run()
+        (response,) = client.responses
+        assert isinstance(response, CacheStatsResponse)
+        assert response.request_id == 3
+        assert response.stats["artifacts"] == 1
+
+    def test_unknown_message_rejected(self, wired):
+        sim, _store, server, client = wired
+        client.send(server, "not-a-cache-message")
+        with pytest.raises(CacheError, match="cannot handle"):
+            sim.run()
+
+    def test_service_cost_delays_the_reply(self, wired):
+        sim, _store, server, client = wired
+        client.send(server, ArtifactRequest(1, KEY))
+        sim.run()
+        # 1.0 out + 0.5 service + 1.0 back
+        assert sim.now >= 2.5
+
+
+class TestBuilderWiring:
+    def test_cache_system_gets_a_server(self):
+        system = WarehouseSystem(
+            paper_world(),
+            paper_views_example1(),
+            SystemConfig(manager_kind="complete", cache=CacheConfig()),
+        )
+        try:
+            assert system.cache_server is not None
+            assert system.cache_server.store is system.cache_store
+            # Reachable from every view manager and merge process.
+            for manager in system.view_managers.values():
+                assert "cache" in manager.peers()
+            for merge in system.merge_processes:
+                assert "cache" in merge.peers()
+        finally:
+            system.close()
+
+    def test_server_opt_out(self):
+        system = WarehouseSystem(
+            paper_world(),
+            paper_views_example1(),
+            SystemConfig(
+                manager_kind="complete", cache=CacheConfig(server=False)
+            ),
+        )
+        try:
+            assert system.cache_server is None
+            assert system.cache_store is not None
+        finally:
+            system.close()
+
+    def test_uncached_system_has_neither(self):
+        system = WarehouseSystem(
+            paper_world(),
+            paper_views_example1(),
+            SystemConfig(manager_kind="complete"),
+        )
+        try:
+            assert system.cache_server is None
+            assert system.cache_store is None
+        finally:
+            system.close()

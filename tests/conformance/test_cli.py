@@ -72,5 +72,5 @@ class TestMatrix:
         ])
         out = capsys.readouterr().out
         assert code == 0, out
-        assert "11/11 rows conform" in out
+        assert "14/14 rows conform" in out
         assert (tmp_path / "naive-fleet-breaks-strong.json").exists()

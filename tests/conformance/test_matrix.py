@@ -103,6 +103,7 @@ class TestFullMatrix:
         assert failures == [], [f"{r.row.name}: {r.reason}" for r in failures]
         written = sorted(p.name for p in tmp_path.iterdir())
         assert written == [
+            "cached-restart-stale-artifact-breaks.json",
             "naive-fleet-breaks-strong.json",
             "periodic-fleet-breaks-complete.json",
         ]

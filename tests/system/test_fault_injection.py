@@ -39,9 +39,9 @@ class TestCorruptedDeltas:
         manager = system.view_managers["V1"]
         original_emit = manager._emit
 
-        def corrupted_emit(covered, view_delta):
+        def corrupted_emit(covered, view_delta, epoch=None):
             poisoned = view_delta.combined(Delta.insert(Row(A=99, B=99, C=99)))
-            original_emit(covered, poisoned)
+            original_emit(covered, poisoned, epoch)
 
         manager._emit = corrupted_emit
         system.run()
@@ -54,8 +54,8 @@ class TestCorruptedDeltas:
         manager = system.view_managers["V1"]
         original_emit = manager._emit
 
-        def lossy_emit(covered, view_delta):
-            original_emit(covered, Delta())  # content gone, protocol kept
+        def lossy_emit(covered, view_delta, epoch=None):
+            original_emit(covered, Delta(), epoch)  # content gone, protocol kept
 
         manager._emit = lossy_emit
         system.run()

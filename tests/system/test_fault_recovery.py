@@ -11,6 +11,8 @@ either a protocol error or an MVC violation — never silently absorbed.
 
 import pytest
 
+from repro.cache.store import CacheConfig
+from repro.conformance.oracle import check_real_run
 from repro.errors import ReproError
 from repro.faults import CrashSpec, FaultPlan
 from repro.system.builder import WarehouseSystem
@@ -19,12 +21,13 @@ from repro.workloads.generator import UpdateStreamGenerator, WorkloadSpec, post_
 from repro.workloads.schemas import paper_views_example1, paper_world
 
 
-def faulted_system(plan, seed=3, updates=25):
+def faulted_system(plan, seed=3, updates=25, cache=False):
     world = paper_world()
     spec = WorkloadSpec(updates=updates, rate=2.0, seed=seed, mix=(0.7, 0.15, 0.15))
     system = WarehouseSystem(
         world, paper_views_example1(),
-        SystemConfig(manager_kind="complete", seed=seed, fault_plan=plan),
+        SystemConfig(manager_kind="complete", seed=seed, fault_plan=plan,
+                     cache=CacheConfig() if cache else None),
     )
     post_stream(system, UpdateStreamGenerator(world, spec).transactions())
     return system
@@ -129,3 +132,164 @@ class TestCrashScheduling:
         system.run()
         assert system.process_by_name("vm:V1").crashes == 1
         assert system.check_mvc("complete").ok
+
+
+CACHED_CRASH_PLAN = FaultPlan(
+    seed=17,
+    drop_rate=0.02,
+    duplicate_rate=0.01,
+    crashes=(
+        CrashSpec("vm:V1", at=8.0, restart_after=3.0),
+        CrashSpec("merge", at=12.0, restart_after=4.0),
+    ),
+)
+
+
+class TestCachedRecovery:
+    """Warm restart: crashed processes recover from the artifact store.
+
+    The PR-1 path above replays lost work from retransmitted messages;
+    with ``SystemConfig(cache=...)`` the crashed view manager and merge
+    process instead restore the nearest published artifact and only
+    replay what the artifact did not cover.  Same oracle, different
+    recovery channel — and corruption must demote, not break."""
+
+    def test_vm_and_merge_restore_from_artifacts(self):
+        system = faulted_system(CACHED_CRASH_PLAN, cache=True)
+        try:
+            system.run()
+            vm = system.process_by_name("vm:V1")
+            merge = system.merge_processes[0]
+            assert vm.crashes == 1
+            assert vm.cache_restores == 1
+            assert vm.cache_fallbacks == 0
+            assert merge.crashes == 1
+            assert merge.cache_restores == 1
+            assert len(system.sim.trace.of_kind("cache_restore")) >= 1
+            assert system.check_mvc("complete").ok
+            assert system.classify() == "complete"
+        finally:
+            system.close()
+
+    def test_cached_run_matches_uncached_semantics(self):
+        def stores(cache):
+            system = faulted_system(CACHED_CRASH_PLAN, cache=cache)
+            try:
+                system.run()
+                assert system.check_mvc("complete").ok
+                return {
+                    name: dict(
+                        system.warehouse.store.view(name).counts_view()
+                    )
+                    for name in system.warehouse.store.view_names
+                }
+            finally:
+                system.close()
+
+        assert stores(cache=True) == stores(cache=False)
+
+    def test_cached_run_is_deterministic(self):
+        def run_once():
+            system = faulted_system(CACHED_CRASH_PLAN, cache=True)
+            try:
+                system.run()
+                return system.metrics().to_dict()
+            finally:
+                system.close()
+
+        assert run_once() == run_once()
+
+    def test_corrupted_artifacts_fall_back_to_replay(self):
+        """Every artifact is corrupted between crash and restart: the
+        restore must *detect* the damage (verified reads), fall back to
+        the PR-1 replay path, and still converge to MVC-complete."""
+        plan = FaultPlan(
+            seed=17,
+            crashes=(CrashSpec("vm:V1", at=8.0, restart_after=3.0),),
+        )
+        system = faulted_system(plan, cache=True)
+
+        def corrupt_every_artifact():
+            store = system.cache_store
+            for key in store.keys():
+                path = store._object_path(key)
+                raw = bytearray(path.read_bytes())
+                raw[-1] ^= 0xFF
+                path.write_bytes(bytes(raw))
+
+        # Between the crash (8.0) and the restart (11.0).
+        system.sim.schedule_at(9.5, corrupt_every_artifact)
+        try:
+            system.run()
+            vm = system.process_by_name("vm:V1")
+            assert vm.crashes == 1
+            assert vm.cache_restores == 0
+            assert vm.cache_fallbacks == 1
+            assert len(system.sim.trace.of_kind("cache_fallback")) == 1
+            assert system.cache_store.integrity_failures >= 1
+            assert system.check_mvc("complete").ok
+        finally:
+            system.close()
+
+
+class TestThreadsRuntimeCrash:
+    """Crash/restart on the wall-clock runtime (the latent PR-1 gap: only
+    merge checkpoints were covered, and only under DES).
+
+    Parallel runtimes reject fault plans (no virtual-time timers), so the
+    crash is driven directly between ``run()`` calls — the kernel is
+    single-threaded then, which is exactly when a real deployment would
+    observe a dead worker — and the full history-level oracle judges the
+    result."""
+
+    def _threads_system(self, cache, seed=7, updates=24):
+        world = paper_world()
+        system = WarehouseSystem(
+            world, paper_views_example1(),
+            SystemConfig(
+                manager_kind="complete", seed=seed, runtime="threads",
+                workers=2, cache=CacheConfig() if cache else None,
+            ),
+        )
+        spec = WorkloadSpec(updates=updates, rate=2.0, seed=seed,
+                            mix=(0.7, 0.15, 0.15))
+        stream = list(UpdateStreamGenerator(world, spec).transactions())
+        half = len(stream) // 2
+        return system, stream[:half], stream[half:]
+
+    @pytest.mark.parametrize("cache", [False, True], ids=["replay", "cached"])
+    def test_view_manager_crash_between_runs(self, cache):
+        system, first, second = self._threads_system(cache)
+        try:
+            post_stream(system, first)
+            system.run()
+            vm = system.process_by_name("vm:V1")
+            vm.crash()
+            vm.restart()
+            post_stream(system, second)
+            system.run()
+            assert vm.crashes == 1
+            if cache:
+                assert vm.cache_restores == 1
+            report = check_real_run(system)
+            assert report.ok, [str(v) for v in report.violations]
+            assert report.runtime == "threads"
+        finally:
+            system.close()
+
+    def test_merge_crash_between_runs_with_cache(self):
+        system, first, second = self._threads_system(cache=True)
+        try:
+            post_stream(system, first)
+            system.run()
+            merge = system.merge_processes[0]
+            merge.crash()
+            merge.restart()
+            post_stream(system, second)
+            system.run()
+            assert merge.crashes == 1
+            assert merge.cache_restores == 1
+            report = check_real_run(system)
+            assert report.ok, [str(v) for v in report.violations]
+        finally:
+            system.close()

@@ -30,6 +30,7 @@ class TestPublicSurface:
         assert undocumented == []
 
     def test_subpackages_documented(self):
+        import repro.cache
         import repro.conformance
         import repro.consistency
         import repro.integrator
@@ -55,5 +56,6 @@ class TestPublicSurface:
             repro.system,
             repro.workloads,
             repro.conformance,
+            repro.cache,
         ):
             assert (module.__doc__ or "").strip(), module.__name__

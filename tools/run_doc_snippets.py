@@ -22,7 +22,7 @@ import sys
 import traceback
 from pathlib import Path
 
-DEFAULT_DOCS = ("docs/engine.md", "docs/performance.md")
+DEFAULT_DOCS = ("docs/engine.md", "docs/performance.md", "docs/caching.md")
 
 #: a fenced python block: ```python ... ``` (tilde fences are not used
 #: for executable examples)
