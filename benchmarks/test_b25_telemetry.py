@@ -1,0 +1,192 @@
+"""B25 — Telemetry overhead and cross-runtime reconciliation.
+
+Paper question: none directly — like B18 this is infrastructure due
+diligence, now for the *runtime-spanning* telemetry layer.  B18 bounded
+the cost of the passive trace/registry; B25 bounds the cost of the
+active instruments added on top of it: the live freshness/SLO monitor
+(probed after every DES event), the per-plan-node profiler (a staging
+dict lookup per operator call plus timing when armed), and the per-view
+compute twins.  It also proves the cross-process collector tells the
+truth: a ``procs`` run's child-side row counters must reconcile exactly
+with a DES run's registry on the same seeded workload.
+
+Method, overhead half (B18's discipline): the B1 workload (80 updates at
+rate 10, seed 21) twice per round — everything enabled (freshness
+monitor + SLO evaluator + plan profiler) vs everything off — interleaved
+best-of-N CPU time with GC disabled, asserting
+
+* full telemetry slows the run by **less than 15%** (B18's bar),
+* telemetry does not perturb the simulation: identical virtual makespan
+  and warehouse transaction count in both arms,
+* the instrumented arm actually bought the goods: monitor samples,
+  ``view_staleness`` gauges, ``plan_node_*`` counters.
+
+Method, reconciliation half: an insert-only workload (row totals are
+batch-boundary-invariant) run under ``procs`` and under DES; per view,
+the children's ``proc_compute_rows_out`` (shipped over the pipe by the
+collector, origin-labelled per shard) must equal both runs'
+``vm_compute_rows``.
+
+Metrics read: CPU time for the ratio; ``sim.now``/``warehouse.commits``
+for invariance; ``view_staleness``/``plan_node_calls``/
+``proc_compute_rows_out``/``vm_compute_rows`` for the payoff checks.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+
+from repro.obs.freshness import SloPolicy
+from repro.system.config import SystemConfig
+from repro.workloads.generator import WorkloadSpec
+from repro.workloads.schemas import paper_views_example2, paper_world
+
+from benchmarks.conftest import fmt_table, run_system
+
+UPDATES = 80
+RATE = 10.0
+ROUNDS = 6  # interleaved on/off pairs; best-of-N defeats scheduler noise
+MAX_OVERHEAD = 0.15
+
+#: thresholds no healthy run crosses — the evaluator runs, never fires
+QUIET_SLO = SloPolicy(max_staleness=1e9, max_queue_depth=10_000,
+                      max_vut=10_000)
+
+
+def _run_once(telemetry: bool):
+    config = SystemConfig(
+        seed=21,
+        freshness_tick=0.5 if telemetry else None,
+        slo=QUIET_SLO if telemetry else None,
+        profile_plans=telemetry,
+    )
+    spec = WorkloadSpec(updates=UPDATES, rate=RATE, seed=21,
+                        mix=(0.6, 0.2, 0.2))
+    gc.collect()
+    gc.disable()
+    try:
+        started = time.process_time()
+        system = run_system(paper_world(), paper_views_example2(), config,
+                            spec)
+        elapsed = time.process_time() - started
+    finally:
+        gc.enable()
+    return elapsed, system
+
+
+def test_b25_telemetry_overhead(benchmark, report, bench_out):
+    def experiment():
+        _run_once(True)  # warm-up: imports, allocator, branch caches
+        _run_once(False)
+        on_times, off_times = [], []
+        for _ in range(ROUNDS):
+            elapsed_off, base = _run_once(False)
+            elapsed_on, instrumented = _run_once(True)
+            off_times.append(elapsed_off)
+            on_times.append(elapsed_on)
+        return min(off_times), min(on_times), base, instrumented
+
+    off, on, base, instrumented = benchmark.pedantic(
+        experiment, rounds=1, iterations=1
+    )
+    overhead = on / off - 1.0
+    monitor = instrumented.monitor
+
+    report(f"B25 — live telemetry overhead on the B1 workload "
+           f"({UPDATES} updates, rate {RATE}, best of {ROUNDS}):")
+    report(fmt_table(
+        ["arm", "cpu ms", "monitor samples", "profiled nodes",
+         "registry instruments"],
+        [
+            ["telemetry off", f"{off * 1e3:.1f}", 0, 0,
+             len(base.sim.metrics)],
+            ["monitor+slo+profiler", f"{on * 1e3:.1f}", monitor.samples,
+             instrumented.plan_profiler.enabled_nodes,
+             len(instrumented.sim.metrics)],
+        ],
+    ))
+    report(f"overhead: {overhead * 100:+.1f}%  (budget {MAX_OVERHEAD:.0%})")
+
+    # Observation must not perturb the simulation itself.
+    assert base.sim.now == instrumented.sim.now
+    assert base.warehouse.commits == instrumented.warehouse.commits
+
+    # The instrumented arm must have bought live telemetry ...
+    assert monitor is not None and monitor.samples > 10
+    assert monitor.breaches == 0  # QUIET_SLO: evaluated, never fired
+    registry = instrumented.sim.metrics
+    for view in instrumented.view_managers:
+        assert registry.get("view_staleness", view=view) is not None
+        assert registry.value("vm_compute_batches", view=view) > 0
+    assert registry.family("plan_node_calls")
+    # ... while the plain arm keeps its registry free of telemetry
+    assert base.monitor is None
+    assert not base.sim.metrics.family("plan_node_calls")
+
+    bench_out("b25", {
+        "b25_overhead": {
+            "workload": {"updates": UPDATES, "rate": RATE, "seed": 21,
+                         "rounds": ROUNDS},
+            "cpu_ms_off": round(off * 1e3, 3),
+            "cpu_ms_on": round(on * 1e3, 3),
+            "overhead": round(overhead, 4),
+            "budget": MAX_OVERHEAD,
+            "monitor_samples": monitor.samples,
+            "profiled_nodes": instrumented.plan_profiler.enabled_nodes,
+        },
+    })
+
+    assert overhead < MAX_OVERHEAD, (
+        f"live telemetry costs {overhead:.1%} on the B1 workload "
+        f"(budget {MAX_OVERHEAD:.0%})"
+    )
+
+
+def test_b25_procs_reconciles_with_des(report, bench_out):
+    """Collector truthfulness: child counters == DES registry, per view."""
+    from repro.system.builder import WarehouseSystem
+    from repro.workloads.generator import UpdateStreamGenerator, post_stream
+
+    def run(config: SystemConfig) -> WarehouseSystem:
+        world = paper_world()
+        spec = WorkloadSpec(updates=50, rate=8.0, seed=33,
+                            mix=(1.0, 0.0, 0.0))  # insert-only
+        system = WarehouseSystem(world, paper_views_example2(), config)
+        post_stream(system, UpdateStreamGenerator(world, spec).transactions())
+        system.run()
+        return system
+
+    des = run(SystemConfig(seed=33))
+    procs = run(SystemConfig(seed=33, runtime="procs", workers=2))
+    try:
+        rows = {}
+        table = []
+        for view in sorted(des.view_managers):
+            des_rows = des.sim.metrics.value("vm_compute_rows", view=view)
+            shipped = sum(
+                metric.value
+                for metric in procs.sim.metrics.family("proc_compute_rows_out")
+                if dict(metric.labels).get("view") == view
+            )
+            rows[view] = des_rows
+            table.append([view, int(des_rows), int(shipped)])
+            assert shipped == des_rows > 0
+        origins = {
+            dict(m.labels)["origin"]
+            for m in procs.sim.metrics.family("proc_compute_requests")
+        }
+        report("B25 — procs collector vs DES registry (insert-only, seed 33):")
+        report(fmt_table(["view", "des rows", "procs child rows"], table))
+        report(f"shard origins: {sorted(origins)}")
+        assert origins
+
+        bench_out("b25", {
+            "b25_reconcile": {
+                "rows_per_view": {k: int(v) for k, v in rows.items()},
+                "shards": len(origins),
+            },
+        })
+    finally:
+        procs.close()
+        des.close()

@@ -97,6 +97,9 @@ class CacheServer(Process):
             if message.ref is not None:
                 self.store.set_ref(message.ref, message.key)
             self.publishes_accepted += 1
+            self.sim.metrics.counter(
+                "cache_server_publishes", process=self.name
+            ).inc()
         elif isinstance(message, CacheStatsQuery):
             self.send(
                 sender, CacheStatsResponse(message.request_id, self.store.stats())
@@ -116,6 +119,11 @@ class CacheServer(Process):
         except CacheIntegrityError:
             payload, error = None, "integrity"
         self.requests_served += 1
+        self.sim.metrics.counter(
+            "cache_server_requests",
+            process=self.name,
+            result=error or "hit",
+        ).inc()
         self.trace(
             "cache_serve",
             key=request.key[:12],

@@ -114,6 +114,32 @@ class ArtifactStore:
         self.misses = 0
         self.integrity_failures = 0
         self.evictions = 0
+        self._registry = None
+        self._registry_labels: dict[str, str] = {}
+
+    def bind_registry(self, registry, **labels) -> None:
+        """Mirror the stat counters into a :class:`MetricsRegistry`.
+
+        The attribute counters stay the source of truth (``stats()`` and
+        ``repro cache stats`` read them); binding just makes every
+        increment also bump ``cache_store_<stat>`` in ``registry``, so
+        exporters report the same numbers.  Existing totals are carried
+        over so a late bind never under-reports.
+        """
+        self._registry = registry
+        self._registry_labels = labels
+        for stat in ("puts", "hits", "misses", "integrity_failures",
+                     "evictions"):
+            counter = registry.counter(f"cache_store_{stat}", **labels)
+            behind = getattr(self, stat) - counter.value
+            if behind > 0:
+                counter.inc(behind)
+
+    def _mirror(self, stat: str, amount: int = 1) -> None:
+        if self._registry is not None:
+            self._registry.counter(
+                f"cache_store_{stat}", **self._registry_labels
+            ).inc(amount)
 
     # -- object paths -------------------------------------------------------
     def _object_path(self, key: str) -> Path:
@@ -153,6 +179,7 @@ class ArtifactStore:
         self._atomic_write(self._object_path(key), header + payload)
         with self._lock:
             self.puts += 1
+        self._mirror("puts")
         return key
 
     def get(self, key: str) -> bytes:
@@ -163,6 +190,7 @@ class ArtifactStore:
         except FileNotFoundError:
             with self._lock:
                 self.misses += 1
+            self._mirror("misses")
             raise CacheMiss(f"no artifact {key!r} in {self.root}") from None
         newline = raw.find(b"\n")
         header = raw[:newline].split(b" ") if newline >= 0 else []
@@ -178,6 +206,7 @@ class ArtifactStore:
         if not ok:
             with self._lock:
                 self.integrity_failures += 1
+            self._mirror("integrity_failures")
             raise CacheIntegrityError(
                 f"artifact {key!r} failed digest verification "
                 f"(corrupt or truncated)"
@@ -188,6 +217,7 @@ class ArtifactStore:
             pass
         with self._lock:
             self.hits += 1
+        self._mirror("hits")
         return payload
 
     def has(self, key: str) -> bool:
@@ -284,6 +314,8 @@ class ArtifactStore:
                 evicted += 1
                 freed += size
             self.evictions += evicted
+            if evicted:
+                self._mirror("evictions", evicted)
             return {
                 "evicted": evicted,
                 "freed_bytes": freed,

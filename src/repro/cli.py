@@ -13,7 +13,11 @@ Commands:
   tabulate the comparison.
 * ``inspect`` — run a workload and interrogate its observability record:
   per-update causal lineage chains (source commit → warehouse commit,
-  with queue-wait vs service breakdowns) and the metrics registry.
+  with queue-wait vs service breakdowns) and the metrics registry;
+  ``--live`` renders the registry periodically while the run executes.
+* ``top``   — run a workload while rendering the live metrics registry
+  (family-level, one-screen) on a wall-clock interval; most useful with
+  ``--runtime threads``/``procs`` where the run takes real time.
 * ``conformance`` — the schedule-exploration engine: ``explore`` hunts a
   configuration's seed space for MVC violations (and shrinks what it
   finds), ``replay`` re-executes a saved reproducer byte-for-byte, and
@@ -233,8 +237,22 @@ def _check_runtime_flags(args: argparse.Namespace) -> None:
         )
 
 
-def _build_and_run(args: argparse.Namespace) -> WarehouseSystem:
-    """Assemble + drive one system from run/inspect-style flags."""
+def _slo_from_flags(args: argparse.Namespace):
+    """A SloPolicy from --slo-* flags, or None when none are set."""
+    staleness = getattr(args, "slo_staleness", None)
+    queue = getattr(args, "slo_queue", None)
+    vut = getattr(args, "slo_vut", None)
+    if staleness is None and queue is None and vut is None:
+        return None
+    from repro.obs.freshness import SloPolicy
+
+    return SloPolicy(
+        max_staleness=staleness, max_queue_depth=queue, max_vut=vut
+    )
+
+
+def _build_system(args: argparse.Namespace) -> WarehouseSystem:
+    """Assemble one loaded (not yet run) system from run/inspect flags."""
     world, views = SCHEMAS[args.schema]()
     if getattr(args, "views_file", None):
         from repro.relational.catalog import load_views
@@ -253,6 +271,9 @@ def _build_and_run(args: argparse.Namespace) -> WarehouseSystem:
         runtime=args.runtime,
         workers=args.workers,
         seed=args.seed,
+        freshness_tick=getattr(args, "freshness_tick", None),
+        slo=_slo_from_flags(args),
+        profile_plans=getattr(args, "profile", False),
     )
     spec = WorkloadSpec(
         updates=args.updates,
@@ -263,8 +284,105 @@ def _build_and_run(args: argparse.Namespace) -> WarehouseSystem:
     )
     system = WarehouseSystem(world, views, config)
     post_stream(system, UpdateStreamGenerator(world, spec).transactions())
+    return system
+
+
+def _build_and_run(args: argparse.Namespace) -> WarehouseSystem:
+    """Assemble + drive one system from run/inspect-style flags."""
+    system = _build_system(args)
     system.run()
     return system
+
+
+def _format_top(registry, prefix: str = "") -> str:
+    """A one-screen family-level registry rendering (the ``top`` view)."""
+    from repro.obs.registry import Counter, Gauge, Histogram
+
+    families: dict[str, list] = {}
+    for metric in registry:
+        if prefix and not metric.name.startswith(prefix):
+            continue
+        families.setdefault(metric.name, []).append(metric)
+    lines = [f"{'family':<30} {'kind':<9} {'n':>3}  aggregate"]
+    for name in sorted(families):
+        group = families[name]
+        first = group[0]
+        if isinstance(first, Histogram):
+            count = sum(m.count for m in group)
+            total = sum(m.total for m in group)
+            mean = total / count if count else 0.0
+            agg = f"count={count} mean={mean:.6g} max={max(m.max for m in group):.6g}"
+            kind = "histogram"
+        elif isinstance(first, Gauge):
+            agg = " ".join(
+                f"{_label_suffix(m)}={m.value:.6g}" for m in group[:4]
+            )
+            if len(group) > 4:
+                agg += f" (+{len(group) - 4} more)"
+            kind = "gauge"
+        elif isinstance(first, Counter):
+            agg = f"total={sum(m.value for m in group):.6g}"
+            kind = "counter"
+        else:  # pragma: no cover - future metric kinds
+            agg = ""
+            kind = type(first).__name__
+        lines.append(f"{name:<30} {kind:<9} {len(group):>3}  {agg}")
+    return "\n".join(lines)
+
+
+def _label_suffix(metric) -> str:
+    return ",".join(v for _k, v in metric.labels) or metric.name
+
+
+def _run_live(system: WarehouseSystem, interval: float) -> None:
+    """Drive the run while rendering the registry every ``interval`` s.
+
+    The renderer runs on a side thread reading the locked registry, so
+    it works under the wall-clock runtimes while workers are hot; a DES
+    run usually finishes before the first frame and just prints the
+    final state.
+    """
+    import threading
+    import time as _time
+
+    stop = threading.Event()
+
+    def _frames() -> None:
+        while not stop.wait(interval):
+            print(f"\n-- live registry @ wall {_time.strftime('%H:%M:%S')} "
+                  f"(sim t={system.sim.now:.2f}) --")
+            print(_format_top(system.sim.metrics))
+
+    painter = threading.Thread(
+        target=_frames, name="repro-top", daemon=True
+    )
+    painter.start()
+    try:
+        system.run()
+    finally:
+        stop.set()
+        painter.join(timeout=1.0)
+
+
+def _finish_telemetry_output(system: WarehouseSystem,
+                             args: argparse.Namespace) -> int:
+    """Shared run/inspect/top epilogue; returns 2 on an SLO breach."""
+    exit_code = 0
+    if system.monitor is not None:
+        print()
+        print(system.monitor.format())
+        if system.monitor.breaches:
+            exit_code = 2
+    if getattr(args, "profile", False):
+        print("\nplan profile (heaviest nodes first):")
+        print(system.profile_report())
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        from repro.obs import write_metrics
+
+        written = write_metrics(system.sim.metrics, metrics_out)
+        print(f"metrics: {written}")
+    return exit_code
 
 
 def _write_trace_out(system: WarehouseSystem, path: str | None) -> None:
@@ -286,15 +404,33 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"achieved MVC level: {system.classify()}")
     report = system.check_mvc("auto")
     print(f"verification: {'OK' if report else 'FAILED — ' + report.reason}")
+    slo_exit = _finish_telemetry_output(system, args)
     _write_trace_out(system, args.trace_out)
     system.close()
-    return 0 if report else 1
+    if not report:
+        return 1
+    return slo_exit
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    system = _build_system(args)
+    _run_live(system, args.interval)
+    print(f"\n-- final registry (sim t={system.sim.now:.2f}, "
+          f"{len(system.sim.trace)} trace events) --")
+    print(_format_top(system.sim.metrics, args.prefix or ""))
+    exit_code = _finish_telemetry_output(system, args)
+    system.close()
+    return exit_code
 
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
     from repro.obs import Lineage
 
-    system = _build_and_run(args)
+    if getattr(args, "live", False):
+        system = _build_system(args)
+        _run_live(system, args.live_interval)
+    else:
+        system = _build_and_run(args)
     lineage = Lineage.from_system(system)
     print(f"schema={args.schema} manager={args.manager} "
           f"updates={args.updates} rate={args.rate} seed={args.seed}")
@@ -325,9 +461,10 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
               + (f" (prefix {prefix!r})" if prefix else "") + ":")
         print(system.sim.metrics.format(prefix))
 
+    exit_code = _finish_telemetry_output(system, args)
     _write_trace_out(system, args.trace_out)
     system.close()
-    return 0
+    return exit_code
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -342,8 +479,9 @@ def _cmd_cache(args: argparse.Namespace) -> int:
               f"freed {report['freed_bytes']} byte(s)")
     stats = store.stats()
     print(f"store: {store.root}")
-    for name in ("artifacts", "bytes", "refs", "pinned"):
-        print(f"  {name:>10}: {stats[name]}")
+    for name in ("artifacts", "bytes", "refs", "pinned", "puts", "hits",
+                 "misses", "integrity_failures", "evictions"):
+        print(f"  {name:>18}: {stats[name]}")
     return 0
 
 
@@ -391,6 +529,28 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--trace-out", default=None, metavar="PATH",
                        help="write the run's trace; format from extension "
                        "(.json Perfetto, .jsonl event log, .txt timeline)")
+        p.add_argument("--freshness-tick", type=float, default=None,
+                       metavar="T",
+                       help="sample per-view staleness / queue depth / VUT "
+                       "occupancy every T time units (virtual under des, "
+                       "wall seconds under threads/procs)")
+        p.add_argument("--slo-staleness", type=float, default=None,
+                       metavar="T",
+                       help="SLO: breach when any view's staleness exceeds T "
+                       "(implies the freshness monitor; exit code 2 on "
+                       "breach)")
+        p.add_argument("--slo-queue", type=int, default=None, metavar="N",
+                       help="SLO: breach when a merge queue exceeds N "
+                       "messages")
+        p.add_argument("--slo-vut", type=int, default=None, metavar="N",
+                       help="SLO: breach when a merge VUT holds more than N "
+                       "updates")
+        p.add_argument("--profile", action="store_true",
+                       help="profile plan propagation (per-node calls, "
+                       "time, row volumes) and print the table")
+        p.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write the final registry; format from extension "
+                       "(.prom/.txt Prometheus text, .json snapshot)")
 
     run = sub.add_parser("run", help="run a configurable warehouse workload")
     add_system_flags(run)
@@ -413,6 +573,22 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="PREFIX",
                      help="also dump the metrics registry (optionally only "
                      "names starting with PREFIX, e.g. proc_ or chan_)")
+    ins.add_argument("--live", action="store_true",
+                     help="render the registry periodically while the run "
+                     "executes (most useful with --runtime threads/procs)")
+    ins.add_argument("--live-interval", type=float, default=1.0, metavar="S",
+                     help="seconds between --live frames (default 1.0)")
+
+    top = sub.add_parser(
+        "top",
+        help="run a workload while rendering the live metrics registry",
+    )
+    add_system_flags(top, updates=200)
+    top.add_argument("--interval", type=float, default=0.5, metavar="S",
+                     help="seconds between registry frames (default 0.5)")
+    top.add_argument("--prefix", default=None, metavar="PREFIX",
+                     help="restrict the final rendering to metric families "
+                     "starting with PREFIX")
 
     swp = sub.add_parser(
         "sweep", help="compare manager kinds on one workload"
@@ -464,6 +640,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_sweep(args)
     if args.command == "inspect":
         return _cmd_inspect(args)
+    if args.command == "top":
+        return _cmd_top(args)
     if args.command == "cache":
         return _cmd_cache(args)
     if args.command == "conformance":

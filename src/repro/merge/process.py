@@ -201,8 +201,14 @@ class MergeProcess(Process):
             checkpoint = self._cache.try_restore()
             if checkpoint is not None:
                 self.cache_restores += 1
+                self.sim.metrics.counter(
+                    "cache_restores", process=self.name
+                ).inc()
             elif self._checkpoint is not None:
                 self.cache_fallbacks += 1
+                self.sim.metrics.counter(
+                    "cache_fallbacks", process=self.name
+                ).inc()
         if checkpoint is None:
             checkpoint = self._checkpoint
         if checkpoint is None:

@@ -1,19 +1,34 @@
 """``repro.obs`` — the observability layer.
 
-Three pieces, layered over the simulator's :class:`~repro.sim.tracing.Trace`:
+Layered over the simulator's :class:`~repro.sim.tracing.Trace`:
 
 * :mod:`repro.obs.registry` — typed metrics (counters, gauges,
-  histograms) that processes, channels, and merges register on
-  ``sim.metrics`` as they run;
+  histograms — exact or reservoir-bounded) that processes, channels, and
+  merges register on ``sim.metrics`` as they run, each tagged with the
+  runtime ``origin`` that recorded it;
 * :mod:`repro.obs.lineage` — per-update causal reconstruction
   (source commit → integrator → view manager → merge → warehouse) from
   trace events;
 * :mod:`repro.obs.export` — trace serialisation: Chrome/Perfetto JSON,
-  JSONL event log, plain-text timeline.
+  JSONL event log, plain-text timeline;
+* :mod:`repro.obs.promexport` — metrics serialisation: Prometheus text
+  exposition and JSON snapshots;
+* :mod:`repro.obs.collector` — cross-process telemetry: forked compute
+  servers drain their counters/histograms/events over the pipe protocol
+  into the parent's locked registry and thread-safe trace;
+* :mod:`repro.obs.freshness` — live per-view staleness, VUT occupancy
+  and merge-queue gauges with an online SLO evaluator;
+* :mod:`repro.obs.profiler` — opt-in per-plan-node timing for compiled
+  maintenance plans.
 
 See ``docs/observability.md`` for the model and worked examples.
 """
 
+from repro.obs.collector import (
+    ShardTelemetry,
+    drain_registry,
+    merge_payload,
+)
 from repro.obs.export import (
     read_chrome_trace,
     read_jsonl,
@@ -25,12 +40,20 @@ from repro.obs.export import (
     write_timeline,
     write_trace,
 )
+from repro.obs.freshness import STALENESS_KINDS, FreshnessMonitor, SloPolicy
 from repro.obs.lineage import (
     LINEAGE_KINDS,
     Lineage,
     LineageError,
     LineageHop,
     UpdateLineage,
+)
+from repro.obs.profiler import PROF_KEY, PlanProfiler
+from repro.obs.promexport import (
+    parse_prometheus,
+    to_prometheus,
+    to_snapshot,
+    write_metrics,
 )
 from repro.obs.registry import (
     Counter,
@@ -53,6 +76,18 @@ __all__ = [
     "LineageError",
     "LineageHop",
     "UpdateLineage",
+    "PROF_KEY",
+    "PlanProfiler",
+    "STALENESS_KINDS",
+    "FreshnessMonitor",
+    "SloPolicy",
+    "ShardTelemetry",
+    "drain_registry",
+    "merge_payload",
+    "parse_prometheus",
+    "to_prometheus",
+    "to_snapshot",
+    "write_metrics",
     "read_chrome_trace",
     "read_jsonl",
     "to_chrome_trace",

@@ -1,0 +1,175 @@
+"""Cross-process telemetry: ship child-side metrics/traces to the parent.
+
+The ``procs`` runtime forks one compute server per merge shard
+(:mod:`repro.runtime.procpool`); until this module existed, everything
+those children measured died with them.  The collector closes the loop
+with three pieces:
+
+* :class:`ShardTelemetry` — the child-side sink.  It owns a private
+  :class:`~repro.obs.registry.MetricsRegistry` (origin-tagged, bounded
+  histograms) plus a capped trace-event buffer, and timestamps against
+  the *parent's* monotonic epoch so merged events line up with the
+  parent's :class:`~repro.sim.tracing.ThreadSafeTrace` timeline.
+* :meth:`ShardTelemetry.drain` — snapshot-and-reset into a plain-data
+  payload (tuples/dicts/floats only) that crosses the existing
+  ``multiprocessing.Pipe`` protocol.  Because draining resets, repeated
+  drains are *additive*: the parent can merge after every run and never
+  double-count.
+* :func:`merge_payload` — folds one payload into the parent's locked
+  registry and thread-safe trace.  The child's origin becomes a real
+  ``origin=`` label on every merged instrument, so sibling shards (and a
+  DES run's own ``des``-tagged instruments) never collide.
+
+The cache server needs none of this machinery: it is a simulation actor
+sharing the parent kernel's registry, so its counters land directly.
+"""
+
+from __future__ import annotations
+
+import time as _time
+
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.sim.tracing import Trace
+
+#: default reservoir bound for child-side histograms
+CHILD_HISTOGRAM_BOUND = 256
+
+#: default cap on buffered child trace events between drains
+CHILD_EVENT_CAP = 20_000
+
+
+class ShardTelemetry:
+    """Child-side telemetry sink for one forked compute server."""
+
+    def __init__(
+        self,
+        origin: str,
+        clock0: float | None = None,
+        histogram_bound: int | None = CHILD_HISTOGRAM_BOUND,
+        max_events: int = CHILD_EVENT_CAP,
+    ) -> None:
+        self.origin = origin
+        self.registry = MetricsRegistry(
+            origin=origin, histogram_bound=histogram_bound
+        )
+        self._clock0 = clock0
+        self._events: list[tuple[float, str, str, dict]] = []
+        self._max_events = max_events
+        self.dropped_events = 0
+
+    @property
+    def now(self) -> float:
+        """Seconds on the parent kernel's clock (0.0 if no epoch given)."""
+        if self._clock0 is None:
+            return 0.0
+        return _time.monotonic() - self._clock0
+
+    def record(self, kind: str, process: str, **detail: object) -> None:
+        """Buffer one trace event (dropped, and counted, past the cap)."""
+        if len(self._events) >= self._max_events:
+            self.dropped_events += 1
+            return
+        self._events.append((self.now, kind, process, detail))
+
+    def drain(self) -> dict:
+        """Snapshot-and-reset everything recorded since the last drain."""
+        payload = drain_registry(self.registry)
+        payload["origin"] = self.origin
+        payload["events"] = self._events
+        payload["dropped_events"] = self.dropped_events
+        self._events = []
+        self.dropped_events = 0
+        return payload
+
+
+def drain_registry(registry: MetricsRegistry) -> dict:
+    """Extract-and-zero a registry into a picklable payload.
+
+    Counters and histograms reset to zero (so the next drain carries only
+    the increment); gauges keep their last value but restart min/max
+    tracking.  Must not race mutators — the compute server's request loop
+    is single-threaded, which is exactly the context this runs in.
+    """
+    counters: list[tuple] = []
+    gauges: list[tuple] = []
+    histograms: list[tuple] = []
+    for metric in registry:
+        if isinstance(metric, Counter):
+            if metric._value:
+                counters.append((metric.name, metric.labels, metric._value))
+                metric._value = 0.0
+        elif isinstance(metric, Gauge):
+            if metric._value is not None:
+                gauges.append(
+                    (metric.name, metric.labels, metric._value,
+                     metric._min, metric._max)
+                )
+                metric._min = metric._max = metric._value
+        elif isinstance(metric, Histogram):
+            if metric._count:
+                histograms.append(
+                    (metric.name, metric.labels, metric._count,
+                     metric._total, metric._max, list(metric._values),
+                     metric._bound)
+                )
+                metric._count = 0
+                metric._total = 0.0
+                metric._max = None
+                metric._values.clear()
+    return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+
+def merge_payload(
+    registry: MetricsRegistry,
+    trace: Trace | None,
+    payload: dict,
+) -> int:
+    """Fold one drained payload into the parent registry/trace.
+
+    Every merged instrument gains an ``origin=<payload origin>`` label —
+    identity-level, not just a tag — so concurrent shards stay distinct.
+    Returns the number of instruments touched.
+    """
+    origin = payload.get("origin", "")
+    merged = 0
+    for name, labels, value in payload.get("counters", ()):
+        counter = registry.counter(name, origin=origin, **dict(labels))
+        counter.origin = origin
+        counter.inc(value)
+        merged += 1
+    for name, labels, value, low, high in payload.get("gauges", ()):
+        gauge = registry.gauge(name, origin=origin, **dict(labels))
+        gauge.origin = origin
+        if low is not None:
+            gauge.set(low)
+        if high is not None:
+            gauge.set(high)
+        gauge.set(value)
+        merged += 1
+    for name, labels, count, total, maximum, values, bound in payload.get(
+        "histograms", ()
+    ):
+        histogram = registry.histogram(
+            name, bound=bound, origin=origin, **dict(labels)
+        )
+        histogram.origin = origin
+        histogram.absorb(count, total, maximum, values)
+        merged += 1
+    if trace is not None:
+        for when, kind, process, detail in payload.get("events", ()):
+            trace.record(when, kind, process, origin=origin, **detail)
+        dropped = payload.get("dropped_events", 0)
+        if dropped:
+            registry.counter(
+                "telemetry_events_dropped", origin=origin
+            ).inc(dropped)
+    return merged
+
+
+__all__ = [
+    "CHILD_EVENT_CAP",
+    "CHILD_HISTOGRAM_BOUND",
+    "ShardTelemetry",
+    "drain_registry",
+    "merge_payload",
+]

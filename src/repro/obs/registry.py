@@ -22,14 +22,29 @@ Design notes:
   how VUT occupancy *over time* is recorded.
 * **Histogram** — stores observations for exact quantiles.  The run sizes
   this library simulates (10⁴–10⁵ events) make exact storage cheaper and
-  more honest than bucketed approximation; swap in fixed buckets if runs
-  ever grow beyond memory.
+  more honest than bucketed approximation — so exact mode stays the DES
+  default.  Long wall-clock runs *do* grow beyond memory, so a histogram
+  can be created with ``bound=N``: exact count/total/mean/max are kept,
+  but only an Algorithm-R reservoir of ``N`` observations backs the
+  quantiles (the parallel runtimes pass a registry-wide default bound).
+
+Every instrument additionally carries an ``origin`` tag — which runtime
+substrate recorded it (``des``, ``worker-thread``, or a compute-server
+``<shard>:<pid>``).  Origin is *not* part of the ``(name, labels)``
+identity, so existing lookups are unaffected; it shows up in summaries,
+``format()`` and the exporters.  Cross-process metrics merged by
+:mod:`repro.obs.collector` carry their origin as an explicit label too,
+so sibling shards never collide.
 """
 
 from __future__ import annotations
 
+import random as _random
 import threading as _threading
-from typing import Iterator, Mapping
+from typing import Iterable, Iterator, Mapping
+
+#: sentinel: "use the registry's default histogram bound"
+_DEFAULT_BOUND = object()
 
 
 def percentile(values: list[float], fraction: float) -> float:
@@ -54,11 +69,12 @@ def percentile(values: list[float], fraction: float) -> float:
 class Metric:
     """Base class: a named, labelled instrument."""
 
-    __slots__ = ("name", "labels")
+    __slots__ = ("name", "labels", "origin")
 
     def __init__(self, name: str, labels: tuple[tuple[str, str], ...]) -> None:
         self.name = name
         self.labels = labels
+        self.origin = ""
 
     @property
     def key(self) -> str:
@@ -71,6 +87,13 @@ class Metric:
     def summary(self) -> dict:
         """A JSON-serialisable snapshot of the instrument's state."""
         raise NotImplementedError
+
+    def _tagged(self, summary: dict) -> dict:
+        # origin is a provenance tag, not identity; omit it when unset so
+        # summaries of plain single-runtime registries stay byte-identical
+        if self.origin:
+            summary["origin"] = self.origin
+        return summary
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.key})"
@@ -95,7 +118,7 @@ class Counter(Metric):
         return self._value
 
     def summary(self) -> dict:
-        return {"type": "counter", "value": self._value}
+        return self._tagged({"type": "counter", "value": self._value})
 
 
 class Gauge(Metric):
@@ -148,26 +171,79 @@ class Gauge(Metric):
         }
         if self._samples is not None:
             out["samples"] = len(self._samples)
-        return out
+        return self._tagged(out)
 
 
 class Histogram(Metric):
-    """A distribution of observations with exact quantiles."""
+    """A distribution of observations with exact quantiles.
 
-    __slots__ = ("_values", "_total")
+    With ``bound=N`` the histogram keeps exact ``count``/``total``/
+    ``mean``/``max`` but retains only an Algorithm-R reservoir of ``N``
+    observations to back the quantiles, so memory stays O(N) on
+    arbitrarily long wall-clock runs.  The reservoir RNG is seeded from
+    the instrument's identity, keeping retained samples reproducible
+    across runs and processes.
+    """
 
-    def __init__(self, name: str, labels: tuple[tuple[str, str], ...]) -> None:
+    __slots__ = ("_values", "_total", "_count", "_max", "_bound", "_rng")
+
+    def __init__(
+        self,
+        name: str,
+        labels: tuple[tuple[str, str], ...],
+        bound: int | None = None,
+    ) -> None:
         super().__init__(name, labels)
+        if bound is not None and bound < 1:
+            raise ValueError(f"histogram {name} bound must be >= 1, got {bound}")
         self._values: list[float] = []
         self._total = 0.0
+        self._count = 0
+        self._max: float | None = None
+        self._bound = bound
+        self._rng = _random.Random(self.key) if bound is not None else None
 
     def observe(self, value: float) -> None:
-        self._values.append(value)
         self._total += value
+        self._count += 1
+        if self._max is None or value > self._max:
+            self._max = value
+        if self._bound is None or len(self._values) < self._bound:
+            self._values.append(value)
+        else:
+            slot = self._rng.randrange(self._count)
+            if slot < self._bound:
+                self._values[slot] = value
+
+    def absorb(
+        self,
+        count: int,
+        total: float,
+        maximum: float | None,
+        values: Iterable[float],
+    ) -> None:
+        """Fold a drained sibling histogram in (cross-process collector).
+
+        ``count``/``total``/``maximum`` stay exact; retained observations
+        are concatenated and (in bounded mode) deterministically
+        down-sampled back to the reservoir size.
+        """
+        self._count += count
+        self._total += total
+        if maximum is not None and (self._max is None or maximum > self._max):
+            self._max = maximum
+        self._values.extend(values)
+        if self._bound is not None and len(self._values) > self._bound:
+            self._values = self._rng.sample(self._values, self._bound)
+
+    @property
+    def bound(self) -> int | None:
+        """Reservoir size, or None for exact (unbounded) storage."""
+        return self._bound
 
     @property
     def count(self) -> int:
-        return len(self._values)
+        return self._count
 
     @property
     def total(self) -> float:
@@ -175,20 +251,21 @@ class Histogram(Metric):
 
     @property
     def mean(self) -> float:
-        return self._total / len(self._values) if self._values else 0.0
+        return self._total / self._count if self._count else 0.0
 
     @property
     def max(self) -> float:
-        return max(self._values) if self._values else 0.0
+        return 0.0 if self._max is None else self._max
 
     def quantile(self, fraction: float) -> float:
         return percentile(self._values, fraction)
 
     def values(self) -> tuple[float, ...]:
+        """Retained observations (all of them in exact mode)."""
         return tuple(self._values)
 
     def summary(self) -> dict:
-        return {
+        out = {
             "type": "histogram",
             "count": self.count,
             "total": self._total,
@@ -197,6 +274,9 @@ class Histogram(Metric):
             "p95": self.quantile(0.95),
             "max": self.max,
         }
+        if self._bound is not None:
+            out["bound"] = self._bound
+        return self._tagged(out)
 
 
 class _LockedCounter(Counter):
@@ -237,13 +317,28 @@ class _LockedHistogram(Histogram):
 
     __slots__ = ("_lock",)
 
-    def __init__(self, name: str, labels: tuple[tuple[str, str], ...]) -> None:
-        super().__init__(name, labels)
+    def __init__(
+        self,
+        name: str,
+        labels: tuple[tuple[str, str], ...],
+        bound: int | None = None,
+    ) -> None:
+        super().__init__(name, labels, bound=bound)
         self._lock = _threading.Lock()
 
     def observe(self, value: float) -> None:
         with self._lock:
             super().observe(value)
+
+    def absorb(
+        self,
+        count: int,
+        total: float,
+        maximum: float | None,
+        values: Iterable[float],
+    ) -> None:
+        with self._lock:
+            super().absorb(count, total, maximum, values)
 
 
 #: plain instrument class -> its locked twin (``locked=True`` registries)
@@ -262,12 +357,21 @@ class MetricsRegistry:
     instrument updates sit on the simulation hot path.
     """
 
-    __slots__ = ("_metrics", "_locked", "_lock")
+    __slots__ = ("_metrics", "_locked", "_lock", "origin", "_histogram_bound")
 
-    def __init__(self, locked: bool = False) -> None:
+    def __init__(
+        self,
+        locked: bool = False,
+        origin: str = "",
+        histogram_bound: int | None = None,
+    ) -> None:
         self._metrics: dict[tuple[str, tuple[tuple[str, str], ...]], Metric] = {}
         self._locked = locked
         self._lock = _threading.Lock() if locked else None
+        #: provenance tag stamped on every instrument this registry creates
+        self.origin = origin
+        #: default reservoir bound for histograms (None = exact storage)
+        self._histogram_bound = histogram_bound
 
     @staticmethod
     def _label_key(labels: Mapping[str, str]) -> tuple[tuple[str, str], ...]:
@@ -289,6 +393,7 @@ class MetricsRegistry:
             metric = (_LOCKED[cls] if self._locked else cls)(
                 name, key[1], **kwargs
             )
+            metric.origin = self.origin
             self._metrics[key] = metric
         elif not isinstance(metric, cls):
             raise TypeError(
@@ -304,8 +409,14 @@ class MetricsRegistry:
         gauge = self._get_or_create(Gauge, name, labels, timeline=timeline)
         return gauge  # type: ignore[return-value]
 
-    def histogram(self, name: str, **labels: str) -> Histogram:
-        return self._get_or_create(Histogram, name, labels)  # type: ignore[return-value]
+    def histogram(
+        self, name: str, bound: object = _DEFAULT_BOUND, **labels: str
+    ) -> Histogram:
+        if bound is _DEFAULT_BOUND:
+            bound = self._histogram_bound
+        return self._get_or_create(  # type: ignore[return-value]
+            Histogram, name, labels, bound=bound
+        )
 
     # -- queries -----------------------------------------------------------
     def __iter__(self) -> Iterator[Metric]:

@@ -75,9 +75,11 @@ counts.
 from __future__ import annotations
 
 from collections import defaultdict
+from time import perf_counter_ns
 from typing import Mapping
 
 from repro.errors import ExpressionError
+from repro.obs.profiler import PROF_KEY
 from repro.relational import plan_reference as _rows
 from repro.relational.columnar import (
     EMPTY_COUNTS,
@@ -191,9 +193,13 @@ class _CSelectNode:
         if memo in staged:
             return staged[memo]
         child = self.child.delta(deltas, staged)
+        prof = staged.get(PROF_KEY)
+        t0 = perf_counter_ns() if prof is not None else 0
         out: Mapping[tuple, int] = EMPTY_COUNTS
         if child:
             out = child if self._filter is None else self._filter(child)
+        if prof is not None:
+            prof.node(self, perf_counter_ns() - t0, len(child), len(out))
         staged[memo] = out
         return out
 
@@ -222,9 +228,13 @@ class _CProjectNode:
         if memo in staged:
             return staged[memo]
         child = self.child.delta(deltas, staged)
+        prof = staged.get(PROF_KEY)
+        t0 = perf_counter_ns() if prof is not None else 0
         out: Mapping[tuple, int] = EMPTY_COUNTS
         if child:
             out = self._project(child)
+        if prof is not None:
+            prof.node(self, perf_counter_ns() - t0, len(child), len(out))
         staged[memo] = out
         return out
 
@@ -351,7 +361,12 @@ class _CJoinNode:
             return staged[memo]
         d_left = self.left.delta(deltas, staged)
         d_right = self.right.delta(deltas, staged)
+        prof = staged.get(PROF_KEY)
+        t0 = perf_counter_ns() if prof is not None else 0
+        rows_in = len(d_left) + len(d_right)
         if not d_left and not d_right:
+            if prof is not None:
+                prof.node(self, perf_counter_ns() - t0, 0, 0)
             staged[memo] = EMPTY_COUNTS
             return EMPTY_COUNTS
         if not d_right:
@@ -360,12 +375,16 @@ class _CJoinNode:
             result: dict[tuple, int] = {}
             self._probe_left(d_left.items(), self.right.probe_table().get, result)
             self.right.probes += len(d_left)
+            if prof is not None:
+                prof.node(self, perf_counter_ns() - t0, rows_in, len(result))
             staged[memo] = result
             return result
         if not d_left:
             result = {}
             self._probe_right(d_right.items(), self.left.probe_table().get, result)
             self.left.probes += len(d_right)
+            if prof is not None:
+                prof.node(self, perf_counter_ns() - t0, rows_in, len(result))
             staged[memo] = result
             return result
         merge = self._merge
@@ -384,6 +403,8 @@ class _CJoinNode:
         for t, count in cross.items():
             out[t] += count
         result = {t: c for t, c in out.items() if c}
+        if prof is not None:
+            prof.node(self, perf_counter_ns() - t0, rows_in, len(result))
         staged[memo] = result
         return result
 
@@ -436,7 +457,11 @@ class _CAggregateNode:
         if memo in staged:
             return staged[memo]
         d_child = self.child.delta(deltas, staged)
+        prof = staged.get(PROF_KEY)
+        t0 = perf_counter_ns() if prof is not None else 0
         if not d_child:
+            if prof is not None:
+                prof.node(self, perf_counter_ns() - t0, 0, 0)
             staged[memo] = EMPTY_COUNTS
             return EMPTY_COUNTS
         contributions: dict[tuple, list] = {}
@@ -444,6 +469,8 @@ class _CAggregateNode:
         out, new_states = self._kernel.delta_pass(self._groups, contributions)
         staged[id(self)] = new_states
         result = {t: c for t, c in out.items() if c}
+        if prof is not None:
+            prof.node(self, perf_counter_ns() - t0, len(d_child), len(result))
         staged[memo] = result
         return result
 
@@ -527,6 +554,24 @@ class MaintenancePlan:
         self._preload = None
         self._staged: dict = {}
         self.propagations = 0
+        #: opt-in per-node profiler (see :mod:`repro.obs.profiler`); when
+        #: set, every propagate stages it under ``PROF_KEY`` so the
+        #: operator nodes record exclusive timings and row volumes.
+        self.profiler = None
+
+    def enable_profiling(self, profiler=None):
+        """Attach a :class:`~repro.obs.profiler.PlanProfiler` (made if None).
+
+        Library-compiled plans should enable profiling on the
+        :class:`PlanLibrary` instead — the library stages one profiler
+        for the whole round.  Returns the active profiler.
+        """
+        if profiler is None:
+            from repro.obs.profiler import PlanProfiler
+
+            profiler = PlanProfiler()
+        self.profiler = profiler
+        return profiler
 
     # -- compilation -------------------------------------------------------
     def _intern(self, key: tuple, build):
@@ -625,6 +670,8 @@ class MaintenancePlan:
         :meth:`advance` will fold into the auxiliary structures.
         """
         self._staged = {}
+        if self.profiler is not None:
+            self._staged[PROF_KEY] = self.profiler
         counts = self._root.delta(base_deltas, self._staged)
         self.propagations += 1
         return self._to_delta(counts)
@@ -649,6 +696,8 @@ class MaintenancePlan:
                 f"runs engine={self.engine!r}"
             )
         self._staged = {}
+        if self.profiler is not None:
+            self._staged[PROF_KEY] = self.profiler
         for name, counts in base_counts.items():
             self._staged[("bd", name)] = counts
         counts = self._root.delta({}, self._staged)
@@ -760,6 +809,16 @@ class PlanLibrary:
         self._interned: dict[tuple, object] = {}
         self._uses: dict[tuple, int] = {}
         self.plans: dict[str, MaintenancePlan] = {}
+        self.profiler = None
+
+    def enable_profiling(self, profiler=None):
+        """Profile every library round (one profiler, shared nodes once)."""
+        if profiler is None:
+            from repro.obs.profiler import PlanProfiler
+
+            profiler = PlanProfiler()
+        self.profiler = profiler
+        return profiler
 
     # -- compilation -------------------------------------------------------
     def _intern(self, key: tuple, build):
@@ -784,6 +843,8 @@ class PlanLibrary:
     def propagate_all(self, base_deltas: Mapping[str, Delta]) -> dict[str, Delta]:
         """Every view's delta for one batch, shared work computed once."""
         staged: dict = {}
+        if self.profiler is not None:
+            staged[PROF_KEY] = self.profiler
         out: dict[str, Delta] = {}
         for name, plan in self.plans.items():
             plan._staged = staged
@@ -809,6 +870,8 @@ class PlanLibrary:
                 f"library runs engine={self.engine!r}"
             )
         staged: dict = {}
+        if self.profiler is not None:
+            staged[PROF_KEY] = self.profiler
         for name, counts in base_counts.items():
             staged[("bd", name)] = counts
         out: dict[str, ColumnarDelta] = {}

@@ -48,6 +48,18 @@ class Runtime:
     def start(self, system: "WarehouseSystem") -> None:
         """Post-build hook: the system is wired and seeded, not yet run."""
 
+    def collect(self, system: "WarehouseSystem") -> int:
+        """Gather external telemetry into the kernel's registry/trace.
+
+        Called by the system after each drained run and before close.
+        The DES and thread backends record directly against the kernel
+        and have nothing to fetch; the process-pool backend drains each
+        forked compute server's :class:`~repro.obs.collector.ShardTelemetry`
+        here.  Returns the number of instruments merged; idempotent
+        (drains are additive, so repeated collects never double-count).
+        """
+        return 0
+
     def close(self) -> None:
         """Release external resources (worker processes); idempotent."""
 

@@ -133,7 +133,12 @@ class ParallelKernel:
 
         self.rng = random.Random(seed)
         self.trace = ThreadSafeTrace()
-        self.metrics = MetricsRegistry(locked=True)
+        # Wall-clock runs have no natural event horizon, so histograms
+        # default to reservoir mode — exact count/total/max, bounded
+        # quantile storage (see repro.obs.registry).
+        self.metrics = MetricsRegistry(
+            locked=True, origin="worker-thread", histogram_bound=4096
+        )
         # Introspection parity with Simulator; never consulted for order.
         self.scheduler = Scheduler()
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
@@ -154,6 +159,20 @@ class ParallelKernel:
         self._idle = threading.Condition(self._lock)
         self._failure: BaseException | None = None
         self._t0 = time.monotonic()
+        # Periodic probes (the freshness monitor): polled from a sampler
+        # thread while run() is live, since there is no per-event hook a
+        # wall-clock kernel could cheaply offer.
+        self._probes: list[Callable[[], None]] = []
+
+    @property
+    def clock_epoch(self) -> float:
+        """The monotonic instant ``now`` counts from (forked children
+        align their telemetry timestamps against this)."""
+        return self._t0
+
+    def add_probe(self, probe: Callable[[], None]) -> None:
+        """Invoke ``probe()`` periodically while :meth:`run` executes."""
+        self._probes.append(probe)
 
     # -- simulator surface ---------------------------------------------------
     @property
@@ -311,6 +330,21 @@ class ParallelKernel:
         for thread in threads:
             thread.start()
 
+        sampler = None
+        sampler_stop = None
+        if self._probes:
+            sampler_stop = threading.Event()
+
+            def _sample_loop() -> None:
+                while not sampler_stop.wait(0.02):
+                    for probe in self._probes:
+                        probe()
+
+            sampler = threading.Thread(
+                target=_sample_loop, name="repro-sampler", daemon=True
+            )
+            sampler.start()
+
         try:
             # Inject the pre-run workload in (virtual time, post order):
             # each source's transactions reach its home worker in workload
@@ -333,6 +367,9 @@ class ParallelKernel:
                         )
                     self._idle.wait(0.05)
         finally:
+            if sampler is not None:
+                sampler_stop.set()
+                sampler.join(timeout=self._timeout)
             for mailbox in self._mailboxes:
                 mailbox.put(_STOP)
             for thread in threads:
@@ -396,6 +433,14 @@ class ProcsRuntime(ThreadsRuntime):
             system,
             workers=system.config.workers,
             timeout=system.config.runtime_timeout,
+        )
+
+    def collect(self, system: "WarehouseSystem") -> int:
+        """Drain every compute server's telemetry into the parent kernel."""
+        if self._fleet is None:
+            return 0
+        return self._fleet.collect_into(
+            self._kernel.metrics, self._kernel.trace
         )
 
     def close(self) -> None:

@@ -17,7 +17,21 @@ serialised by a parent-side lock):
     ("publish", view)
         -> ("ok", key)                    # child-state artifact published
         -> ("err", "ExcType: message")
+    ("telemetry",)
+        -> ("ok", payload)                # drained ShardTelemetry payload
     ("stop",) -> server exits
+
+Telemetry: each child owns a
+:class:`~repro.obs.collector.ShardTelemetry` sink tagged
+``origin="<shard>:<pid>"`` and timestamped against the parent kernel's
+monotonic epoch.  The propagate path records request counts, row
+volumes, latency histograms and one ``proc_compute`` trace event per
+batch; ``("telemetry",)`` drains the sink (additively — the sink resets)
+so :meth:`ComputeFleet.collect_into` can merge every shard's numbers
+into the parent's locked registry after each run.  With
+``SystemConfig(profile_plans=True)`` the child also runs its plans under
+a :class:`~repro.obs.profiler.PlanProfiler`, published into the drained
+payload.
 
 When the system runs with a cache (``SystemConfig(cache=...)``), each
 child inherits the artifact-store *root path* across the fork and opens
@@ -81,15 +95,41 @@ def _publish_child_state(
 
 
 def _serve_shard(
-    conn, plans: dict, replicas: dict, base_layouts: dict, cache_info=None
+    conn,
+    plans: dict,
+    replicas: dict,
+    base_layouts: dict,
+    cache_info=None,
+    telemetry_info=None,
 ) -> None:
     """Child main loop: propagate/advance/publish each view on request."""
+    import os
+    import time as _time
+
+    from repro.obs.collector import ShardTelemetry
+
     store = None
+    shard_name, clock0, profile = telemetry_info or ("shard", None, False)
+    enabled = telemetry_info is not None
+    telemetry = ShardTelemetry(f"{shard_name}:{os.getpid()}", clock0=clock0)
+    process_name = f"compute:{shard_name}"
+    profiler = None
+    if enabled and profile:
+        from repro.obs.profiler import PlanProfiler
+
+        profiler = PlanProfiler()
+        for plan in plans.values():
+            plan.enable_profiling(profiler)
     try:
         while True:
             request = conn.recv()
             if request[0] == "stop":
                 return
+            if request[0] == "telemetry":
+                if profiler is not None:
+                    profiler.publish_into(telemetry.registry)
+                conn.send(("ok", telemetry.drain()))
+                continue
             if request[0] == "publish":
                 _kind, view = request
                 try:
@@ -111,12 +151,17 @@ def _serve_shard(
                         base_layouts[view],
                         exprs[view],
                     )
+                    if enabled:
+                        telemetry.registry.counter(
+                            "proc_publishes", view=view
+                        ).inc()
                     conn.send(("ok", key))
                 except Exception as exc:  # noqa: BLE001 - relayed to parent
                     conn.send(("err", f"{type(exc).__name__}: {exc}"))
                 continue
             _kind, view, raw = request
             try:
+                t0 = _time.perf_counter_ns() if enabled else 0
                 plan = plans[view]
                 delta = plan.propagate_counts(raw)
                 out = dict(delta.counts())
@@ -129,8 +174,40 @@ def _serve_shard(
                     }
                 )
                 plan.advance()
+                if enabled:
+                    elapsed = (_time.perf_counter_ns() - t0) / 1e9
+                    # magnitudes (sum of |count|), matching len(Delta) on
+                    # the parent so per-view totals reconcile exactly
+                    rows_in = sum(
+                        abs(c) for counts in raw.values()
+                        for c in counts.values()
+                    )
+                    rows_out = sum(abs(c) for c in out.values())
+                    registry = telemetry.registry
+                    registry.counter("proc_compute_requests", view=view).inc()
+                    registry.counter(
+                        "proc_compute_rows_in", view=view
+                    ).inc(rows_in)
+                    registry.counter(
+                        "proc_compute_rows_out", view=view
+                    ).inc(rows_out)
+                    registry.histogram(
+                        "proc_compute_seconds", view=view
+                    ).observe(elapsed)
+                    telemetry.record(
+                        "proc_compute",
+                        process_name,
+                        view=view,
+                        rows_in=rows_in,
+                        rows_out=rows_out,
+                        seconds=round(elapsed, 9),
+                    )
                 conn.send(("ok", out))
             except Exception as exc:  # noqa: BLE001 - relayed to the parent
+                if enabled:
+                    telemetry.registry.counter(
+                        "proc_compute_errors", view=view
+                    ).inc()
                 conn.send(("err", f"{type(exc).__name__}: {exc}"))
     except (EOFError, KeyboardInterrupt):  # parent died / interrupted
         return
@@ -146,6 +223,7 @@ class ComputeServer:
         timeout: float,
         context,
         cache_info: tuple | None = None,
+        telemetry_info: tuple | None = None,
     ) -> None:
         self.shard = shard
         self.views = tuple(m.view for m in managers)
@@ -168,7 +246,10 @@ class ComputeServer:
             cache_info = (root, namespace, exprs)
         self._process = context.Process(
             target=_serve_shard,
-            args=(child_conn, plans, replicas, base_layouts, cache_info),
+            args=(
+                child_conn, plans, replicas, base_layouts, cache_info,
+                telemetry_info,
+            ),
             name=f"repro-compute-{shard}",
             daemon=True,
         )
@@ -220,6 +301,27 @@ class ComputeServer:
                 f"view {view!r}: {payload}"
             )
         return payload
+
+    def collect_telemetry(self) -> dict | None:
+        """Drain the child's telemetry sink; ``None`` if the child is gone.
+
+        Additive: the child resets its counters on drain, so merging every
+        payload the parent ever receives yields the true totals.
+        """
+        with self._lock:
+            if not self._process.is_alive():
+                return None
+            try:
+                self._conn.send(("telemetry",))
+                if not self._conn.poll(self._timeout):
+                    raise SimulationError(
+                        f"compute server {self.shard!r} gave no telemetry "
+                        f"reply within {self._timeout}s"
+                    )
+                status, payload = self._conn.recv()
+            except (BrokenPipeError, EOFError, OSError):
+                return None
+        return payload if status == "ok" else None
 
     def stop(self) -> None:
         try:
@@ -282,6 +384,22 @@ class ComputeFleet:
                 published[view] = server.publish_state(view)
         return published
 
+    def collect_into(self, registry, trace) -> int:
+        """Drain every shard's telemetry into the parent registry/trace.
+
+        Returns the number of instruments merged across all shards.
+        Safe to call repeatedly (drains are additive) and after a child
+        died (dead shards are skipped).
+        """
+        from repro.obs.collector import merge_payload
+
+        merged = 0
+        for server in self.servers:
+            payload = server.collect_telemetry()
+            if payload:
+                merged += merge_payload(registry, trace, payload)
+        return merged
+
     def stop(self) -> None:
         for server in self.servers:
             server.stop()
@@ -317,6 +435,10 @@ def start_compute_fleet(
     if store is not None:
         cache_info = (str(store.root), system.config.cache.namespace)
 
+    collect = getattr(system.config, "collect_telemetry", True)
+    clock0 = getattr(system.sim, "clock_epoch", None)
+    profile = getattr(system.config, "profile_plans", False)
+
     servers: list[ComputeServer] = []
     if offloadable:
         shards = sorted(offloadable)
@@ -327,9 +449,12 @@ def start_compute_fleet(
             buckets[index % cap].extend(offloadable[shard])
             names[index % cap].append(shard)
         for bucket, shard_names in zip(buckets, names):
+            shard_label = "+".join(shard_names)
+            telemetry_info = (shard_label, clock0, profile) if collect else None
             server = ComputeServer(
-                "+".join(shard_names), bucket, timeout, context,
+                shard_label, bucket, timeout, context,
                 cache_info=cache_info,
+                telemetry_info=telemetry_info,
             )
             servers.append(server)
             for manager in bucket:

@@ -66,7 +66,11 @@ class Simulator:
         # decrease, so same-channel deliveries keep their send order.
         self._lane_marks: dict[object, tuple[float, float]] = {}
         self.trace = Trace()
-        self.metrics = MetricsRegistry()
+        self.metrics = MetricsRegistry(origin="des")
+        # Post-event probes (the freshness monitor): called after every
+        # executed event.  Kept in a list checked by truthiness so a
+        # probe-free run pays one falsy test per event and nothing else.
+        self._probes: list[Callable[[], None]] = []
 
     @property
     def now(self) -> float:
@@ -172,6 +176,9 @@ class Simulator:
                 callback()
                 executed += 1
                 self._events_executed += 1
+                if self._probes:
+                    for probe in self._probes:
+                        probe()
             # The horizon was reached (queue drained or next event beyond
             # ``until``): advance the clock to ``until`` so two runs with the
             # same horizon always agree on ``now``.  Stopping on the event cap
@@ -181,6 +188,14 @@ class Simulator:
         finally:
             self._running = False
         return executed
+
+    def add_probe(self, probe: Callable[[], None]) -> None:
+        """Invoke ``probe()`` after every executed event (observers only).
+
+        Probes must not schedule events or mutate simulation state — they
+        exist for samplers like the freshness monitor.
+        """
+        self._probes.append(probe)
 
     def step(self) -> bool:
         """Execute exactly one event; returns False if the queue is empty."""

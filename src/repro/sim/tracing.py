@@ -19,7 +19,7 @@ checked *before* any allocation, and callers that must build expensive
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator
+from typing import Callable, Collection, Iterable, Iterator
 
 
 @dataclass(frozen=True, slots=True)
@@ -92,6 +92,43 @@ class Trace:
 
     def __getitem__(self, index: int) -> TraceEvent:
         return self._materialise()[index]
+
+    def events_since(self, start: int) -> tuple[int, list[TraceEvent]]:
+        """Events recorded at index ``start`` onward, plus the new cursor.
+
+        Incremental-consumer protocol: call with the cursor from the
+        previous call and process only what is new.
+        """
+        events = self._materialise()
+        fresh = events[start:]
+        return start + len(fresh), fresh
+
+    def raw_events_since(
+        self, start: int, kinds: Collection[str] | None = None
+    ) -> tuple[int, list[tuple[float, str, str, dict]]]:
+        """``(time, kind, process, detail)`` tuples at ``start`` onward.
+
+        The zero-materialisation twin of :meth:`events_since` for
+        consumers inside the simulation hot loop (the freshness
+        monitor): pending raw tuples pass through as-is and no
+        :class:`TraceEvent` is constructed, so sampling mid-run does not
+        force the materialisation that :meth:`record` deliberately
+        defers.  Cursors are interchangeable with :meth:`events_since`
+        — materialisation moves entries from pending to built without
+        renumbering them.  ``kinds`` drops non-matching events *after*
+        the cursor advances past them, so a filtered consumer never
+        revisits what it skipped.
+        """
+        built = self._events
+        cursor = len(built) + len(self._pending)
+        fresh: list[tuple[float, str, str, dict]] = [
+            (e.time, e.kind, e.process, e.detail)
+            for e in built[start:]
+        ]
+        fresh.extend(self._pending[max(start - len(built), 0):])
+        if kinds is not None:
+            fresh = [event for event in fresh if event[1] in kinds]
+        return cursor, fresh
 
     def of_kind(self, kind: str) -> list[TraceEvent]:
         return [e for e in self._materialise() if e.kind == kind]
@@ -188,6 +225,19 @@ class ThreadSafeTrace(Trace):
     def _materialise(self) -> list[TraceEvent]:
         with self._lock:
             return super()._materialise()
+
+    def events_since(self, start: int) -> tuple[int, list[TraceEvent]]:
+        # Hold the lock across materialise + slice: a recording worker
+        # could otherwise extend the list between the two reads and the
+        # cursor would skip its events.
+        with self._lock:
+            return super().events_since(start)
+
+    def raw_events_since(
+        self, start: int, kinds: Collection[str] | None = None
+    ) -> tuple[int, list[tuple[float, str, str, dict]]]:
+        with self._lock:
+            return super().raw_events_since(start, kinds)
 
     def clear(self) -> None:
         with self._lock:

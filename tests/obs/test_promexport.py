@@ -1,0 +1,126 @@
+"""Prometheus/JSON metric exporters: format, round-trips, dispatch."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.promexport import (
+    parse_prometheus,
+    to_prometheus,
+    to_snapshot,
+    write_metrics,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+def small_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("msgs_sent", src="a", dst="b").inc(3)
+    registry.counter("msgs_sent", src="b", dst="a").inc(1)
+    registry.gauge("queue_depth", proc="merge").set(7)
+    histogram = registry.histogram("latency", proc="merge")
+    for value in (1.0, 2.0, 3.0, 4.0):
+        histogram.observe(value)
+    return registry
+
+
+class TestToPrometheus:
+    def test_type_lines_per_family(self):
+        text = to_prometheus(small_registry())
+        assert "# TYPE repro_msgs_sent counter" in text
+        assert "# TYPE repro_queue_depth gauge" in text
+        assert "# TYPE repro_latency summary" in text
+        # one TYPE line per family, not per instrument
+        assert text.count("# TYPE repro_msgs_sent counter") == 1
+
+    def test_counter_and_gauge_samples(self):
+        # labels render in the registry's sorted-by-key order
+        samples = parse_prometheus(to_prometheus(small_registry()))
+        assert samples['repro_msgs_sent{dst="b",src="a"}'] == 3.0
+        assert samples['repro_msgs_sent{dst="a",src="b"}'] == 1.0
+        assert samples['repro_queue_depth{proc="merge"}'] == 7.0
+
+    def test_histogram_becomes_summary_family(self):
+        samples = parse_prometheus(to_prometheus(small_registry()))
+        assert samples['repro_latency_sum{proc="merge"}'] == 10.0
+        assert samples['repro_latency_count{proc="merge"}'] == 4.0
+        assert samples['repro_latency{proc="merge",quantile="0.5"}'] == 2.5
+
+    def test_origin_exported_as_label(self):
+        registry = MetricsRegistry(origin="worker-thread")
+        registry.counter("ops").inc(2)
+        samples = parse_prometheus(to_prometheus(registry))
+        assert samples == {'repro_ops{origin="worker-thread"}': 2.0}
+
+    def test_namespace_override_and_empty(self):
+        registry = MetricsRegistry()
+        registry.counter("ops").inc()
+        assert "myapp_ops 1.0" in to_prometheus(registry, namespace="myapp")
+        assert to_prometheus(registry, namespace="").startswith("# TYPE ops ")
+
+    def test_invalid_name_characters_sanitised(self):
+        registry = MetricsRegistry()
+        registry.counter("cache.hit-rate").inc()
+        text = to_prometheus(registry)
+        assert "repro_cache_hit_rate 1.0" in text
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("ops", node='sel["x"]').inc()
+        text = to_prometheus(registry)
+        assert 'node="sel[\\"x\\"]"' in text
+        assert parse_prometheus(text)  # still one parseable sample
+
+    def test_empty_registry_exports_empty(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+        assert parse_prometheus("") == {}
+
+    def test_every_instrument_appears(self, finished_system):
+        registry = finished_system.sim.metrics
+        samples = parse_prometheus(to_prometheus(registry))
+        # each counter/gauge exports 1 sample, each histogram 5
+        # (3 quantiles + _sum + _count)
+        expected = sum(
+            5 if metric.summary()["type"] == "histogram" else 1
+            for metric in registry
+        )
+        assert len(samples) == expected
+
+
+class TestSnapshot:
+    def test_meta_header(self):
+        registry = MetricsRegistry(origin="des")
+        registry.counter("ops").inc()
+        snapshot = to_snapshot(registry)
+        assert snapshot["meta"]["format"] == "repro-metrics-snapshot/1"
+        assert snapshot["meta"]["origin"] == "des"
+        assert snapshot["meta"]["instruments"] == 1
+
+    def test_round_trips_through_json(self, finished_system):
+        snapshot = to_snapshot(finished_system.sim.metrics)
+        assert json.loads(json.dumps(snapshot)) == snapshot
+
+    def test_metrics_match_to_dict(self, finished_system):
+        registry = finished_system.sim.metrics
+        assert to_snapshot(registry)["metrics"] == registry.to_dict()
+
+
+class TestWriteMetrics:
+    def test_prom_extension(self, tmp_path):
+        path = write_metrics(small_registry(), tmp_path / "m.prom")
+        assert parse_prometheus(path.read_text())
+
+    def test_txt_extension(self, tmp_path):
+        path = write_metrics(small_registry(), tmp_path / "m.txt")
+        assert "# TYPE" in path.read_text()
+
+    def test_json_extension(self, tmp_path):
+        path = write_metrics(small_registry(), tmp_path / "m.json")
+        loaded = json.loads(path.read_text())
+        assert loaded == to_snapshot(small_registry())
+
+    def test_unknown_extension_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown metrics format"):
+            write_metrics(small_registry(), tmp_path / "m.csv")

@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Aggregate BENCH_*.json artifacts into one trend table.
+
+Every benchmark run with ``--bench-out DIR`` drops machine-readable
+``BENCH_<name>.json`` files (format: docs/performance.md); CI uploads
+them per commit.  This tool flattens any number of such directories into
+one fixed-width table — one row per scalar metric, one value column per
+directory — so downloaded artifact sets from successive commits line up
+side by side and drifts are visible at a glance:
+
+    python tools/bench_trend.py .                 # summarise one run
+    python tools/bench_trend.py old/ new/         # compare two runs
+
+Nested objects flatten to dotted paths (``b25_overhead.cpu_ms_on``);
+lists contribute their length only (series belong to the artifact, not
+the trend table).  With ``--json PATH`` the merged table is also written
+as one JSON object keyed ``benchmark.metric`` -> [values per column].
+
+Exits 1 if no artifacts were found anywhere, 0 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def flatten(payload: object, prefix: str = "") -> dict[str, object]:
+    """Leaf scalars of a JSON document, keyed by dotted path."""
+    out: dict[str, object] = {}
+    if isinstance(payload, dict):
+        for key in sorted(payload):
+            path = f"{prefix}.{key}" if prefix else str(key)
+            out.update(flatten(payload[key], path))
+    elif isinstance(payload, list):
+        out[f"{prefix}.len"] = len(payload)
+    elif isinstance(payload, (int, float, str, bool)) or payload is None:
+        out[prefix] = payload
+    return out
+
+
+def load_directory(directory: Path) -> dict[str, object]:
+    """Flattened metrics of every BENCH_*.json in ``directory``."""
+    metrics: dict[str, object] = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        name = path.stem.removeprefix("BENCH_")
+        try:
+            payload = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError) as exc:
+            print(f"warning: skipping {path}: {exc}", file=sys.stderr)
+            continue
+        for key, value in flatten(payload).items():
+            metrics[f"{name}.{key}"] = value
+    return metrics
+
+
+def fmt(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def trend_table(columns: list[tuple[str, dict[str, object]]]) -> str:
+    rows = sorted({key for _, metrics in columns for key in metrics})
+    headers = ["metric"] + [label for label, _ in columns]
+    table = [
+        [key] + [fmt(metrics.get(key)) for _, metrics in columns]
+        for key in rows
+    ]
+    widths = [
+        max(len(str(headers[i])), *(len(str(r[i])) for r in table))
+        if table else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+
+    def line(cells: list[str]) -> str:
+        first = str(cells[0]).ljust(widths[0])
+        rest = (str(c).rjust(w) for c, w in zip(cells[1:], widths[1:]))
+        return "  ".join([first, *rest])
+
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(r) for r in table)
+    return "\n".join(out)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="aggregate BENCH_*.json artifacts into a trend table"
+    )
+    parser.add_argument(
+        "directories", nargs="*", default=["."], type=Path,
+        help="artifact directories, oldest first (default: .)",
+    )
+    parser.add_argument(
+        "--json", type=Path, default=None, metavar="PATH",
+        help="also write the merged table as JSON",
+    )
+    args = parser.parse_args(argv)
+    directories = [Path(d) for d in args.directories] or [Path(".")]
+
+    columns = [(str(d), load_directory(d)) for d in directories]
+    found = sum(len(metrics) for _, metrics in columns)
+    if not found:
+        print("no BENCH_*.json artifacts found in: "
+              + ", ".join(str(d) for d in directories), file=sys.stderr)
+        return 1
+
+    print(trend_table(columns))
+    print(f"\n{found} metric value(s) across {len(columns)} run(s)")
+
+    if args.json is not None:
+        keys = sorted({key for _, metrics in columns for key in metrics})
+        merged = {
+            key: [metrics.get(key) for _, metrics in columns]
+            for key in keys
+        }
+        args.json.write_text(json.dumps(merged, indent=2, sort_keys=True)
+                             + "\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
